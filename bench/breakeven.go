@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"implicitlayout/internal/workload"
+	"implicitlayout/layout"
+	"implicitlayout/search"
+)
+
+// BreakEvenConfig parameterizes the Figure 6.6 / 6.7 experiment.
+type BreakEvenConfig struct {
+	// LogN fixes the array size N = 2^LogN (the paper uses 2^29).
+	LogN int
+	// P is the worker count for permutation and batch queries (1
+	// reproduces Figure 6.6, NumCPU Figure 6.7).
+	P int
+	// B is the B-tree node capacity.
+	B int
+	// Trials per measurement.
+	Trials int
+	// QBase is the batch size used to measure per-query cost.
+	QBase int
+	// MinLogQ and MaxLogQ bound the reported sweep Q = 2^MinLogQ...
+	MinLogQ, MaxLogQ int
+	// Seed drives query generation.
+	Seed int64
+}
+
+// BreakEvenResult carries the Figure 6.6/6.7 table plus the headline
+// crossover points (the paper's central practical claim).
+type BreakEvenResult struct {
+	// Combined is the permute+query time table versus Q.
+	Combined Table
+	// Crossovers lists, per layout, the smallest Q at which permuting
+	// beats plain binary search.
+	Crossovers Table
+}
+
+// BreakEven reproduces Figures 6.6 and 6.7: the combined time of permuting
+// an N-key sorted array into each layout (with the fastest algorithm for
+// that layout, as measured) and answering Q uniformly random queries,
+// versus Q, against the binary-search-only baseline. Per-query costs are
+// measured on a QBase-sized batch and scaled — query cost is linear in Q
+// for uniform random queries. The crossover Q for each layout is
+// permuteTime / (binaryRate - layoutRate).
+func BreakEven(cfg BreakEvenConfig) BreakEvenResult {
+	n := 1 << uint(cfg.LogN)
+	sorted := workload.Sorted(n)
+	queries := workload.Queries(cfg.QBase, n, 0.5, cfg.Seed)
+
+	// Permutation times: fastest family per layout.
+	permTime := map[layout.Kind]time.Duration{}
+	permName := map[layout.Kind]string{}
+	data := make([]uint64, n)
+	for _, spec := range Algos() {
+		spec := spec
+		d := timeIt(cfg.Trials,
+			func() { workload.Refill(data) },
+			func() { RunPermute(spec, data, cfg.P, cfg.B, false) })
+		if cur, ok := permTime[spec.Kind]; !ok || d < cur {
+			permTime[spec.Kind] = d
+			permName[spec.Kind] = spec.Name
+		}
+	}
+
+	// Per-query rates (seconds per query) per layout, and the baseline.
+	rate := map[layout.Kind]float64{}
+	kinds := []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB}
+	for _, k := range kinds {
+		arr := sorted
+		if k != layout.Sorted {
+			arr = layoutCopy(sorted, k, cfg.B)
+		}
+		ix := search.NewIndex(arr, k, cfg.B)
+		d := timeIt(cfg.Trials, func() {}, func() {
+			querySink += ix.FindBatch(queries, cfg.P)
+		})
+		rate[k] = d.Seconds() / float64(len(queries))
+	}
+
+	combined := Table{
+		Title: fmt.Sprintf("fig6.6/6.7: permute+query time [s] vs Q (N=2^%d, P=%d, B=%d)", cfg.LogN, cfg.P, cfg.B),
+		Note: fmt.Sprintf("permute algorithms: bst=%s (%.3gs) btree=%s (%.3gs) veb=%s (%.3gs); rates measured on Q=%d",
+			permName[layout.BST], permTime[layout.BST].Seconds(),
+			permName[layout.BTree], permTime[layout.BTree].Seconds(),
+			permName[layout.VEB], permTime[layout.VEB].Seconds(), cfg.QBase),
+		Header: []string{"Q", "binary", "bst", "btree", "veb"},
+	}
+	for lq := cfg.MinLogQ; lq <= cfg.MaxLogQ; lq++ {
+		q := float64(int(1) << uint(lq))
+		row := []string{fmt.Sprintf("2^%d", lq)}
+		row = append(row, fmt.Sprintf("%.4g", q*rate[layout.Sorted]))
+		for _, k := range layout.Kinds() {
+			row = append(row, fmt.Sprintf("%.4g", permTime[k].Seconds()+q*rate[k]))
+		}
+		combined.AddRow(row...)
+	}
+
+	cross := Table{
+		Title:  fmt.Sprintf("break-even queries vs binary search (N=2^%d, P=%d)", cfg.LogN, cfg.P),
+		Note:   "Q* = permute / (binary_rate - layout_rate); paper: <= 12% of N sequential, <= 6% parallel",
+		Header: []string{"layout", "permute[s]", "ns/query", "binary ns/query", "Q*", "Q*/N"},
+	}
+	for _, k := range layout.Kinds() {
+		var qstar string
+		var frac string
+		if rate[k] < rate[layout.Sorted] {
+			q := permTime[k].Seconds() / (rate[layout.Sorted] - rate[k])
+			qstar = fmt.Sprintf("%.3g", q)
+			frac = fmt.Sprintf("%.2f%%", 100*q/float64(n))
+		} else {
+			qstar, frac = "never", "-"
+		}
+		cross.AddRow(k.String(),
+			fmt.Sprintf("%.4g", permTime[k].Seconds()),
+			fmt.Sprintf("%.1f", rate[k]*1e9),
+			fmt.Sprintf("%.1f", rate[layout.Sorted]*1e9),
+			qstar, frac)
+	}
+	return BreakEvenResult{Combined: combined, Crossovers: cross}
+}

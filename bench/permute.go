@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"implicitlayout/internal/bits"
+	"implicitlayout/internal/core"
+	"implicitlayout/internal/gather"
+	"implicitlayout/internal/par"
+	"implicitlayout/internal/shuffle"
+	"implicitlayout/internal/vec"
+	"implicitlayout/internal/workload"
+	"implicitlayout/layout"
+)
+
+// AlgoSpec identifies one of the six permutation algorithms.
+type AlgoSpec struct {
+	// Name is the short label used in table headers.
+	Name string
+	// Kind is the layout the algorithm builds.
+	Kind layout.Kind
+	// Algo is the family.
+	Algo core.Algorithm
+}
+
+// Algos lists the six algorithms in the order the paper's figures use.
+func Algos() []AlgoSpec {
+	return []AlgoSpec{
+		{"inv-bst", layout.BST, core.Involution},
+		{"cyc-bst", layout.BST, core.CycleLeader},
+		{"inv-btree", layout.BTree, core.Involution},
+		{"cyc-btree", layout.BTree, core.CycleLeader},
+		{"inv-veb", layout.VEB, core.Involution},
+		{"cyc-veb", layout.VEB, core.CycleLeader},
+	}
+}
+
+// options assembles core options for a measurement run.
+func options(p, b int, softwareRev bool) core.Options {
+	o := core.Options{Runner: par.New(p), B: b}
+	if softwareRev {
+		o.Rev = bits.Software{}
+	}
+	return o
+}
+
+// RunPermute executes one permutation on data in place.
+func RunPermute(spec AlgoSpec, data []uint64, p, b int, softwareRev bool) {
+	core.Permute[uint64](options(p, b, softwareRev), vec.Of(data), spec.Kind, spec.Algo)
+}
+
+// PermuteConfig parameterizes the Figure 6.1 / 6.2 sweeps.
+type PermuteConfig struct {
+	// MinLog and MaxLog bound the sweep N = 2^MinLog .. 2^MaxLog.
+	MinLog, MaxLog int
+	// P is the worker count (1 reproduces Figure 6.1, NumCPU Figure 6.2).
+	P int
+	// B is the B-tree node capacity (the paper uses 8 on CPUs).
+	B int
+	// Trials is the number of timed repetitions averaged per cell.
+	Trials int
+	// SoftwareRev models a CPU without a hardware bit-reversal
+	// instruction, as in the paper's CPU platform.
+	SoftwareRev bool
+}
+
+// PermuteTimes reproduces Figures 6.1 and 6.2: the average time to permute
+// a sorted array with each of the six algorithms, versus N.
+func PermuteTimes(cfg PermuteConfig) Table {
+	t := Table{
+		Title: fmt.Sprintf("fig6.1/6.2: permute time [s] vs N (P=%d, B=%d)", cfg.P, cfg.B),
+		Note:  fmt.Sprintf("%d trials per cell; 64-bit keys; softwareRev=%v", cfg.Trials, cfg.SoftwareRev),
+	}
+	t.Header = append([]string{"N"}, names(Algos())...)
+	for lg := cfg.MinLog; lg <= cfg.MaxLog; lg++ {
+		n := 1 << uint(lg)
+		data := make([]uint64, n)
+		row := []string{fmt.Sprintf("2^%d", lg)}
+		for _, spec := range Algos() {
+			spec := spec
+			d := timeIt(cfg.Trials,
+				func() { workload.Refill(data) },
+				func() { RunPermute(spec, data, cfg.P, cfg.B, cfg.SoftwareRev) })
+			row = append(row, secs(d))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func names(specs []AlgoSpec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SpeedupConfig parameterizes the Figure 6.3 sweep.
+type SpeedupConfig struct {
+	// LogN fixes the input size N = 2^LogN.
+	LogN int
+	// MaxP bounds the worker sweep 1..MaxP.
+	MaxP int
+	// B is the B-tree node capacity.
+	B int
+	// Trials per cell.
+	Trials int
+}
+
+// Speedup reproduces Figure 6.3: the speedup over P = 1 of the fastest
+// permutation algorithm for each layout (determined by measurement at
+// P = 1, as in the paper), versus the number of workers. Note that this
+// host has runtime.NumCPU() hardware threads; speedups beyond that count
+// measure scheduling overhead, not parallelism.
+func Speedup(cfg SpeedupConfig) Table {
+	n := 1 << uint(cfg.LogN)
+	data := make([]uint64, n)
+	// Pick the fastest family per layout at P = 1.
+	fastest := map[layout.Kind]AlgoSpec{}
+	base := map[layout.Kind]time.Duration{}
+	for _, spec := range Algos() {
+		spec := spec
+		d := timeIt(cfg.Trials,
+			func() { workload.Refill(data) },
+			func() { RunPermute(spec, data, 1, cfg.B, false) })
+		if cur, ok := base[spec.Kind]; !ok || d < cur {
+			base[spec.Kind] = d
+			fastest[spec.Kind] = spec
+		}
+	}
+	t := Table{
+		Title: fmt.Sprintf("fig6.3: speedup vs P (N=2^%d, B=%d, host has %d CPUs)", cfg.LogN, cfg.B, runtime.NumCPU()),
+		Note: fmt.Sprintf("fastest per layout at P=1: bst=%s btree=%s veb=%s",
+			fastest[layout.BST].Name, fastest[layout.BTree].Name, fastest[layout.VEB].Name),
+		Header: []string{"P", "bst", "btree", "veb"},
+	}
+	for p := 1; p <= cfg.MaxP; p++ {
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, k := range layout.Kinds() {
+			spec := fastest[k]
+			d := timeIt(cfg.Trials,
+				func() { workload.Refill(data) },
+				func() { RunPermute(spec, data, p, cfg.B, false) })
+			row = append(row, ratio(base[k].Seconds()/d.Seconds()))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// ThroughputConfig parameterizes the Figure 6.4 comparison.
+type ThroughputConfig struct {
+	// LogN sets the approximate array size.
+	LogN int
+	// MaxP bounds the worker sweep.
+	MaxP int
+	// B sets the gather shape r = l = B.
+	B int
+	// Trials per cell.
+	Trials int
+}
+
+// GatherThroughput reproduces Figure 6.4: the memory throughput of a
+// single round of the equidistant gather on chunks of elements (the inner
+// operation of the B-tree cycle-leader algorithm) versus the simplest
+// analog, swapping the first half of the array with the second half.
+// Throughput counts each element as 16 moved bytes (read + write).
+func GatherThroughput(cfg ThroughputConfig) Table {
+	units := cfg.B + (cfg.B+1)*cfg.B // shape-a unit count for r = l = B
+	c := (1 << uint(cfg.LogN)) / units
+	n := units * c
+	data := make([]uint64, n)
+	t := Table{
+		Title:  fmt.Sprintf("fig6.4: throughput [GB/s] vs P (N=%d, chunk=%d)", n, c),
+		Note:   "gather = one equidistant gather on chunks (r=l=B); swap = first half <-> second half",
+		Header: []string{"P", "gather-chunks", "swap-halves"},
+	}
+	bytes := float64(n) * 16
+	for p := 1; p <= cfg.MaxP; p++ {
+		rn := par.New(p)
+		dg := timeIt(cfg.Trials,
+			func() { workload.Refill(data) },
+			func() { gather.Equidistant[uint64](rn, vec.Of(data), 0, cfg.B, cfg.B, c) })
+		ds := timeIt(cfg.Trials,
+			func() { workload.Refill(data) },
+			func() { shuffle.SwapBlocks[uint64](rn, vec.Of(data), 0, n/2, n/2) })
+		t.AddRow(fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.2f", bytes/dg.Seconds()/1e9),
+			fmt.Sprintf("%.2f", bytes/ds.Seconds()/1e9))
+	}
+	return t
+}

@@ -1,0 +1,42 @@
+// Command breakeven regenerates Figures 6.6 and 6.7 and the paper's
+// headline result: the combined time to permute a sorted array into each
+// layout and answer Q queries, versus Q, and the break-even query count
+// beyond which permuting beats plain binary search (the paper reports
+// 0.75%–12% of N sequentially and 0.93%–6% of N in parallel on the CPU).
+package main
+
+import (
+	"flag"
+	"os"
+	"runtime"
+
+	"implicitlayout/bench"
+)
+
+func main() {
+	logN := flag.Int("logn", 24, "input size exponent (paper uses 29)")
+	p := flag.Int("p", 1, "worker count (0 = GOMAXPROCS); 1 reproduces fig 6.6, max fig 6.7")
+	b := flag.Int("b", 8, "B-tree node capacity")
+	trials := flag.Int("trials", 3, "timed repetitions per measurement")
+	qbase := flag.Int("qbase", 1_000_000, "batch size used to measure per-query cost")
+	minLogQ := flag.Int("minlogq", 16, "smallest query count exponent in the table")
+	maxLogQ := flag.Int("maxlogq", 26, "largest query count exponent in the table")
+	seed := flag.Int64("seed", 1, "query generator seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	if *p == 0 {
+		*p = runtime.GOMAXPROCS(0)
+	}
+	res := bench.BreakEven(bench.BreakEvenConfig{
+		LogN: *logN, P: *p, B: *b, Trials: *trials, QBase: *qbase,
+		MinLogQ: *minLogQ, MaxLogQ: *maxLogQ, Seed: *seed,
+	})
+	if *csv {
+		res.Combined.CSV(os.Stdout)
+		res.Crossovers.CSV(os.Stdout)
+		return
+	}
+	res.Combined.Fprint(os.Stdout)
+	res.Crossovers.Fprint(os.Stdout)
+}

@@ -1,0 +1,46 @@
+// Command iobench empirically validates Table 1.1: it runs every
+// permutation algorithm on the work-counting backend (swaps per key must
+// grow like the time bounds) and on the PEM cache simulator (the measured
+// parallel I/O count Q(N,P) divided by the Table 1.1 bound must stay flat
+// as N grows).
+package main
+
+import (
+	"flag"
+	"os"
+
+	"implicitlayout/bench"
+	"implicitlayout/internal/pem"
+)
+
+func main() {
+	minLog := flag.Int("minlog", 12, "smallest input size exponent")
+	maxLog := flag.Int("maxlog", 18, "largest input size exponent")
+	b := flag.Int("b", 8, "B-tree node capacity")
+	p := flag.Int("p", 4, "simulated PEM processor count")
+	m := flag.Int("m", 1<<12, "simulated cache size per processor, in words")
+	blk := flag.Int("blk", 8, "simulated block size, in words")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	ablation := flag.Bool("ablation", false, "also run the gather-variant ablation (plain/batched/transposed)")
+	flag.Parse()
+
+	cfg := bench.Table11Config{
+		MinLog: *minLog, MaxLog: *maxLog, B: *b, P: *p,
+		PEM: pem.Config{M: *m, B: *blk},
+	}
+	emit := func(t bench.Table) {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+	emit(bench.WorkScaling(cfg))
+	emit(bench.IOScaling(cfg))
+	if *ablation {
+		emit(bench.GatherAblation(bench.AblationConfig{
+			MinLog: *minLog, MaxLog: *maxLog, Trials: 2, Batch: *blk,
+			PEM: pem.Config{M: *m, B: *blk},
+		}))
+	}
+}

@@ -1,0 +1,113 @@
+// Command layoutviz renders the small illustrative figures of the paper:
+// the BST layout for N=15 (Figure 1.1), the B-tree layout for N=26, B=2
+// (Figure 1.2), the vEB layout for N=15 (Figure 1.3), and — with -gather —
+// the round-by-round state of the sequential equidistant gather
+// (Figure 3.1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"implicitlayout/internal/par"
+	"implicitlayout/internal/shuffle"
+	"implicitlayout/internal/vec"
+	"implicitlayout/layout"
+)
+
+func main() {
+	n := flag.Int("n", 15, "tree size for the BST/vEB figures")
+	nb := flag.Int("nb", 26, "tree size for the B-tree figure")
+	b := flag.Int("b", 2, "B-tree node capacity")
+	gatherDemo := flag.Bool("gather", false, "show the equidistant gather rounds (fig 3.1)")
+	r := flag.Int("r", 3, "gather shape r = l for -gather")
+	flag.Parse()
+
+	show(layout.BST, *n, 0)
+	show(layout.BTree, *nb, *b)
+	show(layout.VEB, *n, 0)
+	if *gatherDemo {
+		showGather(*r)
+	}
+}
+
+func show(k layout.Kind, n, b int) {
+	sorted := make([]int, n)
+	for i := range sorted {
+		sorted[i] = i + 1
+	}
+	arr := layout.Build(k, sorted, b)
+	fmt.Printf("%s layout, N=%d", k, n)
+	if k == layout.BTree {
+		fmt.Printf(", B=%d", b)
+	}
+	fmt.Printf(":\n  array: %v\n", arr)
+	// Render by tree level.
+	switch k {
+	case layout.BST, layout.VEB:
+		nav := layout.NewVEBNav(n)
+		for depth := 0; ; depth++ {
+			first := 1<<uint(depth) - 1
+			if first >= n {
+				break
+			}
+			var cells []string
+			for rank := 0; rank < 1<<uint(depth) && first+rank < n; rank++ {
+				pos := first + rank
+				if k == layout.VEB {
+					pos = nav.Pos(depth, rank)
+				}
+				cells = append(cells, fmt.Sprint(arr[pos]))
+			}
+			fmt.Printf("  level %d: %s\n", depth, strings.Join(cells, " "))
+		}
+	case layout.BTree:
+		for node, level, width := 0, 0, 1; node*b < n; level++ {
+			var cells []string
+			for i := 0; i < width && node*b < n; i, node = i+1, node+1 {
+				end := min((node+1)*b, n)
+				cells = append(cells, fmt.Sprintf("[%s]", join(arr[node*b:end])))
+			}
+			fmt.Printf("  level %d: %s\n", level, strings.Join(cells, " "))
+			width *= b + 1
+		}
+	}
+	fmt.Println()
+}
+
+func join(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprint(x)
+	}
+	return strings.Join(parts, " ")
+}
+
+// showGather replays the equidistant gather for r = l cycle by cycle,
+// printing the array after each cycle rotation and after the fix-up
+// shifts — the progression Figure 3.1 illustrates.
+func showGather(r int) {
+	l := r
+	n := r + (r+1)*l
+	a := make([]string, n)
+	for j := 1; j <= r+1; j++ {
+		for i := 1; i <= l; i++ {
+			a[(j-1)*(l+1)+i-1] = fmt.Sprintf("T%d.%d", j, i)
+		}
+		if j <= r {
+			a[j*(l+1)-1] = fmt.Sprintf("T0.%d", j)
+		}
+	}
+	fmt.Printf("equidistant gather, r = l = %d (fig 3.1):\n  start: %v\n", r, a)
+	rn := par.New(1)
+	v := vec.Of(a)
+	for i := 1; i <= r; i++ {
+		shuffle.RotateRightUnits[string](rn, v, i-1, l, i+1, 1, 1)
+		fmt.Printf("  cycle %d: %v\n", i, a)
+	}
+	for j := 1; j <= r; j++ {
+		shuffle.RotateRightUnits[string](rn, v, r+(j-1)*l, 1, l, 1, (r+1-j)%l)
+	}
+	fmt.Printf("  fixed:   %v\n", a)
+}

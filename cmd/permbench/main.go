@@ -1,0 +1,60 @@
+// Command permbench regenerates the permutation-time experiments of the
+// paper: Figure 6.1 (sequential permute time vs N), Figure 6.2 (parallel),
+// Figure 6.3 (speedup vs P of the fastest algorithm per layout) and
+// Figure 6.4 (equidistant-gather-on-chunks throughput vs half-array swap).
+//
+// Usage:
+//
+//	permbench [-minlog 20] [-maxlog 24] [-p 1] [-b 8] [-trials 3]
+//	          [-softrev] [-sweepP] [-gather] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"implicitlayout/bench"
+)
+
+func main() {
+	minLog := flag.Int("minlog", 20, "smallest input size exponent (N = 2^minlog)")
+	maxLog := flag.Int("maxlog", 24, "largest input size exponent")
+	p := flag.Int("p", 1, "worker count (0 = GOMAXPROCS)")
+	b := flag.Int("b", 8, "B-tree node capacity")
+	trials := flag.Int("trials", 3, "timed repetitions per cell")
+	softrev := flag.Bool("softrev", false, "use software bit reversal (the paper's CPU T_REV2 model)")
+	sweepP := flag.Bool("sweepP", false, "also run the Figure 6.3 speedup sweep")
+	gatherThroughput := flag.Bool("gather", false, "also run the Figure 6.4 gather-vs-swap throughput sweep")
+	maxP := flag.Int("maxp", 2*runtime.NumCPU(), "largest worker count for -sweepP / -gather")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	if *p == 0 {
+		*p = runtime.GOMAXPROCS(0)
+	}
+	emit := func(t bench.Table) {
+		if *csv {
+			t.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+
+	emit(bench.PermuteTimes(bench.PermuteConfig{
+		MinLog: *minLog, MaxLog: *maxLog, P: *p, B: *b,
+		Trials: *trials, SoftwareRev: *softrev,
+	}))
+	if *sweepP {
+		emit(bench.Speedup(bench.SpeedupConfig{
+			LogN: *maxLog, MaxP: *maxP, B: *b, Trials: *trials,
+		}))
+	}
+	if *gatherThroughput {
+		emit(bench.GatherThroughput(bench.ThroughputConfig{
+			LogN: *maxLog, MaxP: *maxP, B: *b, Trials: *trials,
+		}))
+	}
+}

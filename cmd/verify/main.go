@@ -1,0 +1,120 @@
+// Command verify is a self-check harness: it runs every permutation
+// algorithm (including the I/O-optimized gather variants), every query
+// engine, and the inverse transformations against the reference layout
+// oracles over a dense sweep of sizes and worker counts, and reports the
+// first discrepancy. Useful after porting or modifying the algorithms;
+// the CI-grade equivalent of `go test ./...` condensed into one binary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+
+	"implicitlayout/layout"
+	"implicitlayout/perm"
+	"implicitlayout/search"
+)
+
+func main() {
+	maxN := flag.Int("maxn", 2000, "verify every size up to this exhaustively")
+	sparse := flag.Int("sparse", 1<<20, "also verify power-of-two neighborhoods up to this size")
+	b := flag.Int("b", 8, "B-tree node capacity")
+	flag.Parse()
+
+	sizes := map[int]bool{}
+	for n := 0; n <= *maxN; n++ {
+		sizes[n] = true
+	}
+	for n := 1 << 12; n <= *sparse; n <<= 1 {
+		for _, d := range []int{-1, 0, 1} {
+			if n+d >= 0 {
+				sizes[n+d] = true
+			}
+		}
+	}
+
+	checked := 0
+	for n := range sizes {
+		if err := verifySize(n, *b); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL n=%d: %v\n", n, err)
+			os.Exit(1)
+		}
+		checked++
+	}
+	fmt.Printf("verified %d sizes x 3 layouts x 2 algorithms (+ variants, queries, inverses): all correct\n", checked)
+}
+
+func sorted(n int) []uint64 {
+	s := make([]uint64, n)
+	for i := range s {
+		s[i] = uint64(2*i + 1)
+	}
+	return s
+}
+
+type variant struct {
+	name string
+	kind layout.Kind
+	opts []perm.Option
+	algo perm.Algorithm
+}
+
+func variants(b, workers int) []variant {
+	w := perm.WithWorkers(workers)
+	var vs []variant
+	for _, k := range layout.Kinds() {
+		for _, a := range perm.Algorithms() {
+			vs = append(vs, variant{fmt.Sprintf("%v/%v", k, a), k, []perm.Option{w, perm.WithB(b)}, a})
+		}
+	}
+	vs = append(vs,
+		variant{"veb/cycle+transposed", layout.VEB, []perm.Option{w, perm.WithTransposedGather()}, perm.CycleLeader},
+		variant{"veb/cycle+batched", layout.VEB, []perm.Option{w, perm.WithBatchedGather(8)}, perm.CycleLeader},
+		variant{"bst/involution+softrev", layout.BST, []perm.Option{w, perm.WithSoftwareBitReversal()}, perm.Involution},
+	)
+	return vs
+}
+
+func verifySize(n, b int) error {
+	base := sorted(n)
+	for _, workers := range []int{1, 3} {
+		for _, v := range variants(b, workers) {
+			got := make([]uint64, n)
+			copy(got, base)
+			perm.Permute(got, v.kind, v.algo, v.opts...)
+			want := layout.Build(v.kind, base, b)
+			if !reflect.DeepEqual(got, want) {
+				return fmt.Errorf("%s P=%d: layout mismatch", v.name, workers)
+			}
+			if err := perm.Unpermute(got, v.kind, perm.WithB(b), perm.WithWorkers(workers)); err != nil {
+				return fmt.Errorf("%s: unpermute: %v", v.name, err)
+			}
+			if !reflect.DeepEqual(got, base) {
+				return fmt.Errorf("%s P=%d: inverse round trip failed", v.name, workers)
+			}
+		}
+	}
+	// Queries: spot-check membership and predecessor on each layout.
+	if n > 0 {
+		probe := []int{0, n / 3, n - 1}
+		for _, k := range append(layout.Kinds(), layout.Sorted) {
+			arr := layout.Build(k, base, b)
+			ix := search.NewIndex(arr, k, b)
+			for _, i := range probe {
+				x := base[i]
+				if pos := ix.Find(x); pos < 0 || arr[pos] != x {
+					return fmt.Errorf("%v: Find(%d) failed", k, x)
+				}
+				if ix.Find(x+1) != -1 {
+					return fmt.Errorf("%v: found absent key %d", k, x+1)
+				}
+				if pos := ix.Predecessor(x + 1); pos < 0 || arr[pos] != x {
+					return fmt.Errorf("%v: Predecessor(%d) failed", k, x+1)
+				}
+			}
+		}
+	}
+	return nil
+}

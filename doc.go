@@ -1,0 +1,18 @@
+// Package implicitlayout reproduces "Beyond Binary Search: Parallel
+// In-Place Construction of Implicit Search Tree Layouts" (Berney, 2018):
+// parallel in-place algorithms that permute a sorted array into the
+// level-order BST (Eytzinger), level-order B-tree, and van Emde Boas
+// memory layouts, together with the query engines, cost-model simulators
+// (PEM I/O, GPU), and the benchmark harness that regenerates every table
+// and figure of the paper's evaluation.
+//
+// Public API:
+//
+//   - layout: layout definitions, index arithmetic, reference builders;
+//   - perm:   the in-place parallel permutations (the paper's contribution);
+//   - search: queries (exact and predecessor) on every layout;
+//   - bench:  experiment runners for the paper's tables and figures.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results.
+package implicitlayout

@@ -1,0 +1,175 @@
+// Package bits provides the digit-manipulation kit used by the involution
+// based permutation algorithms: reversal of the b least significant digits
+// of an index in an arbitrary base k (the rev_k(b, i) operation of the
+// paper), plus small integer helpers (powers, logarithms, perfect-tree
+// size arithmetic) shared by every layout.
+//
+// The cost of base-2 digit reversal, T_REV2(N), is a first-class parameter
+// of the paper's analysis: some architectures (e.g. the NVidia K40 GPU)
+// reverse bits in hardware in O(1) time while a software loop needs
+// O(log N). The Reverser implementations Hardware and Software model the
+// two regimes; algorithms are generic over the choice so benchmarks can
+// expose the T_REV2 term of Table 1.1.
+package bits
+
+import mathbits "math/bits"
+
+// Reverser reverses the b least significant binary digits of x, leaving any
+// higher bits untouched. Implementations must be pure and safe for
+// concurrent use.
+type Reverser interface {
+	// Rev2 reverses the b least significant bits of x.
+	Rev2(b int, x uint64) uint64
+	// Cost returns the model cost (instructions) of one b-bit reversal,
+	// the T_REV2 parameter of the paper's analysis.
+	Cost(b int) int
+}
+
+// Hardware reverses bits using the single-instruction primitive exposed by
+// math/bits (compiled to RBIT/equivalent where available). It models the
+// O(1) hardware bit-reversal of the paper's GPU platform.
+type Hardware struct{}
+
+// Rev2 reverses the b least significant bits of x in O(1) time.
+func (Hardware) Rev2(b int, x uint64) uint64 {
+	if b <= 0 {
+		return x
+	}
+	lo := x & (1<<uint(b) - 1)
+	return x&^(1<<uint(b)-1) | mathbits.Reverse64(lo)>>(64-uint(b))
+}
+
+// Cost of a hardware reversal is constant.
+func (Hardware) Cost(int) int { return 2 }
+
+// Software reverses bits with an explicit per-bit loop, modelling the
+// O(log N) software implementation on CPUs without a bit-reversal
+// instruction (the paper's CPU platform).
+type Software struct{}
+
+// Rev2 reverses the b least significant bits of x one bit at a time.
+func (Software) Rev2(b int, x uint64) uint64 {
+	if b <= 0 {
+		return x
+	}
+	lo := x & (1<<uint(b) - 1)
+	var r uint64
+	for i := 0; i < b; i++ {
+		r = r<<1 | lo&1
+		lo >>= 1
+	}
+	return x&^(1<<uint(b)-1) | r
+}
+
+// Cost of a software reversal is linear in the bit count.
+func (Software) Cost(b int) int { return 2 * b }
+
+// Rev2 reverses the b least significant bits of x using the fast path. It
+// is the default used when the caller does not care about the T_REV2 cost
+// model.
+func Rev2(b int, x uint64) uint64 {
+	return Hardware{}.Rev2(b, x)
+}
+
+// RevK reverses the b least significant base-k digits of x, leaving higher
+// digits untouched. For k == 2 prefer a Reverser. Runs in O(b) time.
+func RevK(k uint64, b int, x uint64) uint64 {
+	if b <= 0 || k < 2 {
+		return x
+	}
+	kb := PowU(k, b)
+	hi, lo := x/kb, x%kb
+	var r uint64
+	for i := 0; i < b; i++ {
+		r = r*k + lo%k
+		lo /= k
+	}
+	return hi*kb + r
+}
+
+// RevBelowMSB keeps the most significant set bit of x in place and reverses
+// all bits below it. It is the second involution of the BST permutation
+// (Fich, Munro, Poblete): pi(i) = RevBelowMSB(Rev2(d, i)). RevBelowMSB(0)
+// is 0. The operation is an involution.
+func RevBelowMSB(r Reverser, x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	b := mathbits.Len64(x) - 1
+	return 1<<uint(b) | r.Rev2(b, x&(1<<uint(b)-1))
+}
+
+// PowU returns k**e for unsigned base and exponent. It panics on overflow
+// because every caller works with array indices that fit in uint64.
+func PowU(k uint64, e int) uint64 {
+	r := uint64(1)
+	for i := 0; i < e; i++ {
+		nr := r * k
+		if k != 0 && nr/k != r {
+			panic("bits: PowU overflow")
+		}
+		r = nr
+	}
+	return r
+}
+
+// Pow returns k**e for non-negative int arguments.
+func Pow(k, e int) int {
+	return int(PowU(uint64(k), e))
+}
+
+// Log2Floor returns floor(log2(n)) for n >= 1.
+func Log2Floor(n int) int {
+	if n < 1 {
+		panic("bits: Log2Floor of non-positive value")
+	}
+	return mathbits.Len64(uint64(n)) - 1
+}
+
+// Levels returns the number of levels of a complete binary tree with n >= 1
+// nodes, i.e. floor(log2(n)) + 1.
+func Levels(n int) int {
+	return Log2Floor(n) + 1
+}
+
+// LogKFloor returns floor(log_k(n)) for n >= 1 and k >= 2.
+func LogKFloor(k uint64, n uint64) int {
+	if n < 1 || k < 2 {
+		panic("bits: LogKFloor domain error")
+	}
+	e := 0
+	for v := n; v >= k; v /= k {
+		e++
+	}
+	return e
+}
+
+// IsPerfectBST reports whether n == 2^d - 1 for some d >= 1, i.e. whether a
+// binary search tree with n nodes is perfect.
+func IsPerfectBST(n int) bool {
+	return n >= 1 && (uint64(n)+1)&uint64(n) == 0
+}
+
+// PerfectKTreeExp returns (d, true) when n == k^d - 1 for some d >= 1: the
+// number of element levels of a perfect B-tree with branching factor k and
+// n keys. It returns (0, false) otherwise.
+func PerfectKTreeExp(k uint64, n int) (int, bool) {
+	if n < 1 || k < 2 {
+		return 0, false
+	}
+	v := uint64(n) + 1
+	d := 0
+	for v > 1 {
+		if v%k != 0 {
+			return 0, false
+		}
+		v /= k
+		d++
+	}
+	return d, true
+}
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int) int {
+	return (a + b - 1) / b
+}

@@ -1,0 +1,159 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRev2Small(t *testing.T) {
+	cases := []struct {
+		b    int
+		x, w uint64
+	}{
+		{3, 0b100, 0b001}, {3, 0b110, 0b011}, {3, 0b111, 0b111},
+		{4, 0b0001, 0b1000}, {0, 5, 5}, {1, 1, 1}, {1, 0, 0},
+		{5, 0b10100, 0b00101},
+		// high bits untouched
+		{3, 0b1000_100, 0b1000_001},
+	}
+	for _, c := range cases {
+		if got := (Hardware{}).Rev2(c.b, c.x); got != c.w {
+			t.Errorf("Hardware.Rev2(%d, %b) = %b, want %b", c.b, c.x, got, c.w)
+		}
+		if got := (Software{}).Rev2(c.b, c.x); got != c.w {
+			t.Errorf("Software.Rev2(%d, %b) = %b, want %b", c.b, c.x, got, c.w)
+		}
+	}
+}
+
+// TestRev2Agreement: the hardware and software models compute the same
+// function, and it is an involution.
+func TestRev2Agreement(t *testing.T) {
+	f := func(x uint64, bRaw uint8) bool {
+		b := int(bRaw % 65)
+		h := (Hardware{}).Rev2(b, x)
+		s := (Software{}).Rev2(b, x)
+		return h == s && (Hardware{}).Rev2(b, h) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRevKMatchesRev2 for k = 2 the generic digit reversal equals Rev2.
+func TestRevKMatchesRev2(t *testing.T) {
+	f := func(xRaw uint32, bRaw uint8) bool {
+		b := int(bRaw % 33)
+		x := uint64(xRaw)
+		return RevK(2, b, x) == Rev2(b, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRevKInvolution: reversing b digits twice is the identity, any base.
+func TestRevKInvolution(t *testing.T) {
+	f := func(xRaw uint32, kRaw, bRaw uint8) bool {
+		k := uint64(kRaw%15) + 2
+		b := int(bRaw % 12)
+		x := uint64(xRaw)
+		return RevK(k, b, RevK(k, b, x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevKExplicit(t *testing.T) {
+	// base 3, digits of 5 = 12_3, reverse 2 digits -> 21_3 = 7.
+	if got := RevK(3, 2, 5); got != 7 {
+		t.Errorf("RevK(3,2,5) = %d, want 7", got)
+	}
+	// base 10: reverse 3 digits of 12345 -> 12 543.
+	if got := RevK(10, 3, 12345); got != 12543 {
+		t.Errorf("RevK(10,3,12345) = %d, want 12543", got)
+	}
+}
+
+func TestRevBelowMSB(t *testing.T) {
+	cases := []struct{ x, w uint64 }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 3},
+		{0b100, 0b100}, {0b110, 0b101}, {0b1011, 0b1110},
+	}
+	for _, c := range cases {
+		if got := RevBelowMSB(Hardware{}, c.x); got != c.w {
+			t.Errorf("RevBelowMSB(%b) = %b, want %b", c.x, got, c.w)
+		}
+	}
+	f := func(x uint64) bool {
+		y := RevBelowMSB(Software{}, x)
+		return RevBelowMSB(Software{}, y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowAndLogs(t *testing.T) {
+	if PowU(3, 4) != 81 || Pow(2, 10) != 1024 || PowU(7, 0) != 1 {
+		t.Fatal("PowU/Pow wrong")
+	}
+	if Log2Floor(1) != 0 || Log2Floor(2) != 1 || Log2Floor(3) != 1 || Log2Floor(1024) != 10 {
+		t.Fatal("Log2Floor wrong")
+	}
+	if Levels(1) != 1 || Levels(3) != 2 || Levels(4) != 3 || Levels(7) != 3 {
+		t.Fatal("Levels wrong")
+	}
+	if LogKFloor(3, 1) != 0 || LogKFloor(3, 26) != 2 || LogKFloor(3, 27) != 3 {
+		t.Fatal("LogKFloor wrong")
+	}
+}
+
+func TestPerfectKTreeExp(t *testing.T) {
+	if d, ok := PerfectKTreeExp(3, 26); !ok || d != 3 {
+		t.Fatalf("26 = 3^3-1: got d=%d ok=%v", d, ok)
+	}
+	if d, ok := PerfectKTreeExp(2, 7); !ok || d != 3 {
+		t.Fatalf("7 = 2^3-1: got d=%d ok=%v", d, ok)
+	}
+	if _, ok := PerfectKTreeExp(3, 25); ok {
+		t.Fatal("25 is not 3^d - 1")
+	}
+	if _, ok := PerfectKTreeExp(2, 0); ok {
+		t.Fatal("0 should not be perfect")
+	}
+}
+
+func TestIsPerfectBST(t *testing.T) {
+	for _, n := range []int{1, 3, 7, 15, 1<<20 - 1} {
+		if !IsPerfectBST(n) {
+			t.Errorf("IsPerfectBST(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, 2, 4, 8, 1 << 20} {
+		if IsPerfectBST(n) {
+			t.Errorf("IsPerfectBST(%d) = true", n)
+		}
+	}
+}
+
+func BenchmarkRev2Hardware(b *testing.B) {
+	var r Hardware
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += r.Rev2(29, uint64(i))
+	}
+	sinkU64 = s
+}
+
+func BenchmarkRev2Software(b *testing.B) {
+	var r Software
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += r.Rev2(29, uint64(i))
+	}
+	sinkU64 = s
+}
+
+var sinkU64 uint64

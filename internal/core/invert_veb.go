@@ -1,0 +1,162 @@
+package core
+
+import (
+	"implicitlayout/internal/bits"
+	"implicitlayout/internal/par"
+	"implicitlayout/internal/shuffle"
+	"implicitlayout/internal/vec"
+	"implicitlayout/layout"
+)
+
+// InvertInvolutionVEB restores sorted order from a van Emde Boas layout
+// (produced by either vEB construction algorithm — the layout is
+// identical) by running the involution algorithm's steps backwards:
+// subtrees are un-laid-out bottom-up, each split is undone with the
+// inverse shuffle pair, non-perfect trees un-merge their last-level leaf
+// chunks and re-interleave the partial level. Same work, depth, and
+// in-place bounds as the forward transformation.
+func InvertInvolutionVEB[T any, V vec.Vec[T]](o Options, v V) {
+	rn := o.runner()
+	n := v.Len()
+	if n <= 1 {
+		return
+	}
+	levels := bits.Levels(n)
+	if n == 1<<uint(levels)-1 {
+		invertVEBRecurse[T](rn, v, 0, n, levels)
+		return
+	}
+	fullN, _ := fullSize(n, 1)
+	invertVEBSeparated[T](rn, v, 0, fullN, n-fullN, levels)
+	scatterPartialLevel[T](rn, v, 0, n, 1)
+}
+
+// invertVEBRecurse undoes vebRecurse on a perfect subtree: invert the top
+// and bottom subtrees, then undo the split.
+func invertVEBRecurse[T any, V vec.Vec[T]](rn par.Runner, v V, off, n, levels int) {
+	if levels <= 1 {
+		return
+	}
+	lt, lb := layout.VEBSplit(levels)
+	r := 1<<uint(lt) - 1
+	switch {
+	case lb <= 1:
+		invertVEBRecurse[T](rn, v, off, r, lt)
+	case rn.IsSerial():
+		invertVEBRecurse[T](rn, v, off, r, lt)
+		l := 1<<uint(lb) - 1
+		for j := 0; j <= r; j++ {
+			invertVEBRecurse[T](rn, v, off+r+j*l, l, lb)
+		}
+	default:
+		l := 1<<uint(lb) - 1
+		rn.Tasks(r+2, func(i int, sub par.Runner) {
+			if i == 0 {
+				invertVEBRecurse[T](sub, v, off, r, lt)
+				return
+			}
+			invertVEBRecurse[T](sub, v, off+r+(i-1)*l, l, lb)
+		})
+	}
+	invVEBUnstep[T](rn, v, off, n, r, 1<<uint(lb))
+}
+
+// invVEBUnstep is the inverse of invVEBStep: un-shuffle the bottoms back
+// into residue columns, then re-interleave the top keys.
+func invVEBUnstep[T any, V vec.Vec[T]](rn par.Runner, v V, off, n, r, k int) {
+	shuffle.KUnshuffle[T](rn, v, off+r, n-r, k-1)
+	shuffle.KShuffle1[T](rn, v, off, n, k)
+}
+
+// invertVEBSeparated undoes vebAnySeparated: invert every subtree, pull
+// the last-level leaf chunks back to the end, and undo the full-part
+// split, leaving [fulls sorted][leaves sorted].
+func invertVEBSeparated[T any, V vec.Vec[T]](rn par.Runner, v V, off, fullN, w, levels int) {
+	lt, lb := layout.VEBSplit(levels)
+	r := 1<<uint(lt) - 1
+	if lt == levels-1 {
+		invertVEBRecurse[T](rn, v, off, r, lt)
+		return
+	}
+	lp := 1<<uint(lb-1) - 1
+	capB := 1 << uint(lb-1)
+	f := w / capB
+	s := w - f*capB
+
+	child := func(sub par.Runner, j int) {
+		wj := clamp(w-j*capB, 0, capB)
+		start := off + r + j*lp + min(w, j*capB)
+		if wj == 0 {
+			invertVEBRecurse[T](sub, v, start, lp, lb-1)
+			return
+		}
+		// Inverting a separated bottom restores exactly the separated
+		// [fulls][leaves] form the un-merge below expects.
+		invertVEBSeparated[T](sub, v, start, lp, wj, lb)
+	}
+	if rn.IsSerial() {
+		invertVEBRecurse[T](rn, v, off, r, lt)
+		for j := 0; j <= r; j++ {
+			child(rn, j)
+		}
+	} else {
+		rn.Tasks(r+2, func(i int, sub par.Runner) {
+			if i == 0 {
+				invertVEBRecurse[T](sub, v, off, r, lt)
+				return
+			}
+			child(sub, i-1)
+		})
+	}
+	unmergeLeafChunks[T](rn, v, off+r, r+1, lp, capB, f, s)
+	// Undo the full-part split (the inverse of the fullSplit shuffles).
+	if levels%2 == 0 {
+		lt2, lb2 := layout.VEBSplit(levels - 1)
+		invVEBUnstep[T](rn, v, off, fullN, 1<<uint(lt2)-1, 1<<uint(lb2))
+	} else {
+		invVEBUnstep[T](rn, v, off, fullN, r, 1<<uint(lb-1))
+	}
+}
+
+// unmergeLeafChunks is the inverse of mergeLeafChunks: it separates the
+// interleaved [G_0 C_0][G_1 C_1]... arrangement back into [all groups]
+// [all chunks], mirroring the forward divide-and-conquer with the inverse
+// rotation applied after the sub-problems are undone.
+func unmergeLeafChunks[T any, V vec.Vec[T]](rn par.Runner, v V, base, nG, lp, capB, f, s int) {
+	cTot := f
+	if s > 0 {
+		cTot++
+	}
+	if cTot == 0 || lp == 0 {
+		return
+	}
+	csum := func(c int) int {
+		t := min(c, f) * capB
+		if c > f {
+			t += s
+		}
+		return t
+	}
+	var rec func(rn par.Runner, pos, g0, ng, nc int)
+	rec = func(rn par.Runner, pos, g0, ng, nc int) {
+		if nc == 0 || ng <= 1 {
+			return
+		}
+		h := (ng + 1) / 2
+		cL := clamp(h, 0, nc)
+		moved := (ng - h) * lp
+		rotLen := moved + csum(g0+cL) - csum(g0)
+		leftSize := h*lp + csum(g0+cL) - csum(g0)
+		if rn.IsSerial() {
+			rec(rn, pos, g0, h, cL)
+			rec(rn, pos+leftSize, g0+h, ng-h, nc-cL)
+		} else {
+			rn.Do(
+				func(sub par.Runner) { rec(sub, pos, g0, h, cL) },
+				func(sub par.Runner) { rec(sub, pos+leftSize, g0+h, ng-h, nc-cL) },
+			)
+		}
+		shuffle.RotateRight[T](rn, v, pos+h*lp, rotLen, moved)
+	}
+	rec(rn, base, 0, nG, cTot)
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"implicitlayout/internal/par"
+	"implicitlayout/internal/shuffle"
+	"implicitlayout/internal/vec"
+	"implicitlayout/layout"
+)
+
+// InvolutionVEB permutes the sorted window into the van Emde Boas layout
+// with the involution machinery of Section 2.3: each recursive vEB split
+// is the B-tree involution step with B = l (the bottom-subtree size) —
+// an (l+1)-way perfect un-shuffle with simulated 1-indexing gathers the
+// top tree to the front, and an l-way perfect shuffle groups each bottom
+// subtree contiguously. O(N/P log N) time, O(log N) depth.
+func InvolutionVEB[T any, V vec.Vec[T]](o Options, v V) {
+	vebEntry[T](o, v, involutionVEBOps[T, V]())
+}
+
+func involutionVEBOps[T any, V vec.Vec[T]]() vebOps[T, V] {
+	return vebOps[T, V]{
+		split: func(rn par.Runner, v V, off, n, levels int) {
+			lt, lb := layout.VEBSplit(levels)
+			invVEBStep[T](rn, v, off, n, 1<<uint(lt)-1, 1<<uint(lb))
+		},
+		fullSplit: func(rn par.Runner, v V, off, nFull, levels int) {
+			lt, lb := layout.VEBSplit(levels)
+			// The bottoms lost their last level, so interleave by
+			// k = 2^(lb-1); the top size is unchanged.
+			invVEBStep[T](rn, v, off, nFull, 1<<uint(lt)-1, 1<<uint(lb-1))
+		},
+	}
+}
+
+// invVEBStep separates [T0 (r keys)] from the bottoms with one un-shuffle
+// and one shuffle: the top keys sit at every k-th 1-indexed position
+// (k = bottom size + 1), so the k-way un-shuffle gathers them in front and
+// leaves the bottom keys in residue-class columns, which the (k-1)-way
+// shuffle interleaves back into contiguous bottom subtrees.
+func invVEBStep[T any, V vec.Vec[T]](rn par.Runner, v V, off, n, r, k int) {
+	shuffle.KUnshuffle1[T](rn, v, off, n, k)
+	shuffle.KShuffle[T](rn, v, off+r, n-r, k-1)
+}

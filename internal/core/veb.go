@@ -1,0 +1,179 @@
+package core
+
+import (
+	"implicitlayout/internal/bits"
+	"implicitlayout/internal/par"
+	"implicitlayout/internal/shuffle"
+	"implicitlayout/internal/vec"
+	"implicitlayout/layout"
+)
+
+// vebOps abstracts the one step both vEB algorithm families share: the
+// separation of a subtree into its top tree and bottom subtrees. The
+// involution family separates with un-shuffle/shuffle rounds (Section
+// 2.3), the cycle-leader family with equidistant gathers (Section 3.1).
+type vebOps[T any, V vec.Vec[T]] struct {
+	// split separates a perfect subtree of n = 2^L - 1 sorted keys at
+	// [off, off+n) into [T0][bottom_1]...[bottom_{r+1}], each part sorted.
+	split func(rn par.Runner, v V, off, n, L int)
+	// fullSplit does the same for the full part (a perfect tree with L-1
+	// levels) of a non-perfect tree with L levels, using the *original*
+	// tree's split boundary Lt = ceil(L/2): the bottoms come out with
+	// Lb-1 levels each (their last level was peeled off beforehand).
+	fullSplit func(rn par.Runner, v V, off, nFull, L int)
+}
+
+// vebEntry permutes the sorted window into the vEB layout, dispatching
+// between the perfect recursion and the Chapter 5 non-perfect path.
+func vebEntry[T any, V vec.Vec[T]](o Options, v V, ops vebOps[T, V]) {
+	rn := o.runner()
+	n := v.Len()
+	if n <= 1 {
+		return
+	}
+	levels := bits.Levels(n)
+	if n == 1<<uint(levels)-1 {
+		vebRecurse[T](rn, v, 0, n, levels, ops)
+		return
+	}
+	fullN, w := gatherPartialLevel[T](rn, v, 0, n, 1)
+	vebAnySeparated[T](rn, v, 0, fullN, w, levels, ops)
+}
+
+// vebRecurse lays out a perfect subtree of n = 2^L - 1 sorted keys:
+// split, then recurse on the top tree and all bottom subtrees in parallel.
+func vebRecurse[T any, V vec.Vec[T]](rn par.Runner, v V, off, n, levels int, ops vebOps[T, V]) {
+	if levels <= 1 {
+		return
+	}
+	ops.split(rn, v, off, n, levels)
+	lt, lb := layout.VEBSplit(levels)
+	r := 1<<uint(lt) - 1
+	if lb <= 1 {
+		// Bottoms are single nodes; only the top tree recurses.
+		vebRecurse[T](rn, v, off, r, lt, ops)
+		return
+	}
+	l := 1<<uint(lb) - 1
+	if rn.IsSerial() {
+		vebRecurse[T](rn, v, off, r, lt, ops)
+		for j := 0; j <= r; j++ {
+			vebRecurse[T](rn, v, off+r+j*l, l, lb, ops)
+		}
+		return
+	}
+	rn.Tasks(r+2, func(i int, sub par.Runner) {
+		if i == 0 {
+			vebRecurse[T](sub, v, off, r, lt, ops)
+			return
+		}
+		vebRecurse[T](sub, v, off+r+(i-1)*l, l, lb, ops)
+	})
+}
+
+// vebAnySeparated lays out a complete (non-perfect) subtree with L levels
+// whose keys have already been separated into [fullN full-level keys,
+// sorted][w last-level keys, sorted] at [off, off+fullN+w). It splits the
+// full part at the original tree's boundary, merges each bottom's share of
+// last-level keys next to its full keys, and recurses — bottoms that
+// received last-level keys recurse through this same separated form, so
+// the separation is never repeated.
+func vebAnySeparated[T any, V vec.Vec[T]](rn par.Runner, v V, off, fullN, w, levels int, ops vebOps[T, V]) {
+	lt, lb := layout.VEBSplit(levels)
+	r := 1<<uint(lt) - 1
+	if lt == levels-1 {
+		// The full part is exactly T0 and every last-level key is its own
+		// single-node bottom subtree, already in position.
+		vebRecurse[T](rn, v, off, r, lt, ops)
+		return
+	}
+	ops.fullSplit(rn, v, off, fullN, levels)
+	lp := 1<<uint(lb-1) - 1 // bottom full-part size
+	capB := 1 << uint(lb-1) // bottom last-level capacity
+	f := w / capB           // bottoms receiving a full leaf chunk
+	s := w - f*capB         // size of the partial chunk (bottom f)
+	mergeLeafChunks[T](rn, v, off+r, r+1, lp, capB, f, s)
+	child := func(sub par.Runner, j int) {
+		wj := clamp(w-j*capB, 0, capB)
+		start := off + r + j*lp + min(w, j*capB)
+		if wj == 0 {
+			vebRecurse[T](sub, v, start, lp, lb-1, ops)
+			return
+		}
+		vebAnySeparated[T](sub, v, start, lp, wj, lb, ops)
+	}
+	if rn.IsSerial() {
+		vebRecurse[T](rn, v, off, r, lt, ops)
+		for j := 0; j <= r; j++ {
+			child(rn, j)
+		}
+		return
+	}
+	rn.Tasks(r+2, func(i int, sub par.Runner) {
+		if i == 0 {
+			vebRecurse[T](sub, v, off, r, lt, ops)
+			return
+		}
+		child(sub, i-1)
+	})
+}
+
+// mergeLeafChunks interleaves two adjacent block sequences in place: nG
+// groups of lp elements (the bottoms' full parts) followed by the
+// last-level chunks — f full chunks of capB elements plus, if s > 0, one
+// partial chunk of s — producing [G_0 C_0][G_1 C_1]...[G_f partial]
+// [G_{f+1}]...[G_{nG-1}]. Divide and conquer on the group count with one
+// parallel rotation per node: O(n log nG) work, O(log² nG) rounds. (The
+// paper sketches this merge as a chunked 2-way shuffle; the rotation tree
+// keeps every step a uniform in-place primitive at the cost of one
+// logarithmic factor on this non-perfect-only path.)
+func mergeLeafChunks[T any, V vec.Vec[T]](rn par.Runner, v V, base, nG, lp, capB, f, s int) {
+	cTot := f
+	if s > 0 {
+		cTot++
+	}
+	if cTot == 0 || lp == 0 {
+		return
+	}
+	// csum(c) = total size of global chunks [0, c).
+	csum := func(c int) int {
+		t := min(c, f) * capB
+		if c > f {
+			t += s
+		}
+		return t
+	}
+	var rec func(rn par.Runner, pos, g0, ng, nc int)
+	rec = func(rn par.Runner, pos, g0, ng, nc int) {
+		// region at pos holds groups [g0, g0+ng) then chunks [g0, g0+nc).
+		if nc == 0 || ng <= 1 {
+			return
+		}
+		h := (ng + 1) / 2
+		cL := clamp(h, 0, nc) // chunks belonging to the left half
+		moved := (ng - h) * lp
+		rotLen := moved + csum(g0+cL) - csum(g0)
+		shuffle.RotateLeft[T](rn, v, pos+h*lp, rotLen, moved)
+		leftSize := h*lp + csum(g0+cL) - csum(g0)
+		if rn.IsSerial() {
+			rec(rn, pos, g0, h, cL)
+			rec(rn, pos+leftSize, g0+h, ng-h, nc-cL)
+			return
+		}
+		rn.Do(
+			func(sub par.Runner) { rec(sub, pos, g0, h, cL) },
+			func(sub par.Runner) { rec(sub, pos+leftSize, g0+h, ng-h, nc-cL) },
+		)
+	}
+	rec(rn, base, 0, nG, cTot)
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,74 @@
+package gather
+
+import (
+	"implicitlayout/internal/par"
+	"implicitlayout/internal/vec"
+)
+
+// maxBatchTemp bounds the per-worker temporary space of the batched
+// gather, keeping the algorithm within the paper's Definition 1 budget of
+// O(M) words per processor.
+const maxBatchTemp = 256
+
+// EquidistantBatched performs the equidistant gather like Equidistant but
+// processes phase-1 cycles in batches of `batch` consecutive cycles per
+// worker — the "simpler solution" of Section 4.2: B consecutive array
+// elements always belong to B consecutive cycles, so walking a batch row
+// by row turns the strided cycle accesses into contiguous runs, at the
+// cost of O(batch·c) temporary words per worker. Falls back to the plain
+// gather when the temporary would exceed the per-processor budget.
+func EquidistantBatched[T any, V vec.Vec[T]](rn par.Runner, v V, lo, r, l, c, batch int) {
+	if batch < 2 || batch > l || batch*c > maxBatchTemp || r == 0 {
+		Equidistant[T](rn, v, lo, r, l, c)
+		return
+	}
+	if r < 0 || l < r || c < 1 {
+		panic("gather: invalid equidistant shape")
+	}
+	v.BeginRound("gather/cycles-batched", (r*(r+3)/2)*c)
+	nBatches := (r + batch - 1) / batch
+	// Work of batch k is dominated by its longest cycle (~(k+1)*batch).
+	cum := func(k int) int { return k * (k + 1) / 2 }
+	rn.ForWeighted(nBatches, cum, func(p, a, b int) {
+		tmp := make([]T, batch*c)
+		for k := a; k < b; k++ {
+			i0 := k*batch + 1
+			i1 := min(i0+batch, r+1)
+			batchedCycles[T](v, p, lo, l, c, i0, i1, tmp)
+		}
+	})
+	phase2[T](rn, v, lo, r, l, c)
+}
+
+// batchedCycles rotates cycles i0..i1-1 (1-indexed) right by one unit,
+// walking rows top-down so each row move touches two contiguous runs.
+// Cycle i covers unit positions u_t = t*l + i - 1 for t = 0..i; content
+// moves u_t -> u_{t+1} cyclically.
+func batchedCycles[T any, V vec.Vec[T]](v V, p, lo, l, c, i0, i1 int, tmp []T) {
+	// Save each cycle's last unit (position i*(l+1)-1, the T0 element).
+	for i := i0; i < i1; i++ {
+		base := lo + (i*(l+1)-1)*c
+		for e := 0; e < c; e++ {
+			tmp[(i-i0)*c+e] = v.Get(p, base+e)
+		}
+	}
+	// Shift rows upward: for t descending, cycles with i >= t+1 move
+	// their row-t unit to row t+1. The sources for fixed t are the
+	// contiguous units [t*l + max(i0,t+1) - 1, t*l + i1 - 1).
+	for t := i1 - 2; t >= 0; t-- {
+		first := max(i0, t+1)
+		src := lo + (t*l+first-1)*c
+		dst := lo + ((t+1)*l+first-1)*c
+		run := (i1 - first) * c
+		for e := run - 1; e >= 0; e-- {
+			v.Set(p, dst+e, v.Get(p, src+e))
+		}
+	}
+	// Drop the saved units into the cycle heads (contiguous run).
+	head := lo + (i0-1)*c
+	for i := i0; i < i1; i++ {
+		for e := 0; e < c; e++ {
+			v.Set(p, head+(i-i0)*c+e, tmp[(i-i0)*c+e])
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package gather implements the equidistant gather operation of Chapter 3
+// and its extensions: the core building block of the cycle-leader
+// permutation algorithms.
+//
+// The input window holds r "top" units T0[1..r] equidistantly distributed
+// among r+1 "bottom" groups of l units each:
+//
+//	[ T1 (l units) ][T0[1]][ T2 (l units) ][T0[2]] ... [T0[r]][ T_{r+1} ]
+//
+// and the gather moves every T0 unit to the front, preserving the relative
+// order of everything:
+//
+//	[ T0 (r units) ][ T1 ][ T2 ] ... [ T_{r+1} ]
+//
+// Phase 1 rotates, for each i in 1..r, the contents of the i+1 units at
+// (1-indexed) unit positions {i, l+i, 2l+i, ..., il+i} right by one — the
+// r disjoint cycles identified in Section 3.1 (requires r <= l). Phase 2
+// fixes the rotation of each bottom group: group j is shifted right by
+// r+1-j (mod l). Both phases are compositions of parallel in-place
+// rotations, so the whole gather is O(n) work, O(1) depth rounds.
+//
+// Units are c contiguous elements; c > 1 gives the chunked gathers used by
+// the extended equidistant gather (Section 3.2) and by the I/O analysis of
+// Chapter 4. ExtendedPerfect and the shape-b variant implement the r > l
+// recursion for B-tree construction, and Transposed implements the
+// matrix-transposition blocking of Section 4.2 (Figure 4.1).
+package gather
+
+import (
+	"fmt"
+
+	"implicitlayout/internal/par"
+	"implicitlayout/internal/shuffle"
+	"implicitlayout/internal/vec"
+)
+
+// Equidistant performs the equidistant gather on the window of
+// r + (r+1)*l units of c elements each starting at element offset lo.
+// Requires 0 <= r <= l.
+func Equidistant[T any, V vec.Vec[T]](rn par.Runner, v V, lo, r, l, c int) {
+	if r == 0 {
+		return
+	}
+	if r < 0 || l < r || c < 1 {
+		panic(fmt.Sprintf("gather: invalid equidistant shape r=%d l=%d c=%d", r, l, c))
+	}
+	phase1[T](rn, v, lo, r, l, c)
+	phase2[T](rn, v, lo, r, l, c)
+}
+
+// phase1 rotates each of the r disjoint cycles right by one unit. Cycle i
+// (1-indexed) covers unit positions {t*l + i : t = 0..i} (1-indexed),
+// i.e. 0-indexed unit t*l + i - 1, and ends at unit i*(l+1) - 1 which
+// holds T0[i]. Cycle lengths grow linearly with i, so the cycles are
+// distributed across workers by total weight.
+func phase1[T any, V vec.Vec[T]](rn par.Runner, v V, lo, r, l, c int) {
+	v.BeginRound("gather/cycles", (r*(r+3)/2)*c)
+	if rn.IsSerial() {
+		phase1Seq[T](v, rn.Lo, lo, l, c, 1, r)
+		return
+	}
+	// weight of cycles 1..i is sum(t+1) = i(i+3)/2.
+	cum := func(i int) int { return i * (i + 3) / 2 }
+	rn.ForWeighted(r, cum, func(p, a, b int) {
+		phase1Seq[T](v, p, lo, l, c, a+1, b)
+	})
+}
+
+// phase1Seq rotates cycles a..b (1-indexed, inclusive) on one worker.
+func phase1Seq[T any, V vec.Vec[T]](v V, p, lo, l, c, a, b int) {
+	sub := par.Serial(p)
+	for i := a; i <= b; i++ {
+		base := lo + (i-1)*c
+		shuffle.RotateRightUnits[T](sub, v, base, l*c, i+1, c, 1)
+	}
+}
+
+// phase2 shifts bottom group j (1-indexed, j = 1..r) right by r+1-j units.
+// Group j occupies l units starting at 0-indexed unit r + (j-1)*l.
+func phase2[T any, V vec.Vec[T]](rn par.Runner, v V, lo, r, l, c int) {
+	v.BeginRound("gather/fixup", r*l*c)
+	if rn.IsSerial() {
+		for j := 1; j <= r; j++ {
+			base := lo + (r+(j-1)*l)*c
+			shuffle.RotateRightUnits[T](rn, v, base, c, l, c, (r+1-j)%l)
+		}
+		return
+	}
+	rn.Tasks(r, func(j0 int, sub par.Runner) {
+		j := j0 + 1
+		base := lo + (r+(j-1)*l)*c
+		shuffle.RotateRightUnits[T](sub, v, base, c, l, c, (r+1-j)%l)
+	})
+}
+
+// ExtendedPerfect performs the extended equidistant gather (Section 3.2)
+// on a window in the "shape a" pattern ([l units][1 unit])^r [l units]
+// with r+1 a multiple of l+1 (r > l allowed): all r interleaved units are
+// gathered, in order, to the front, preserving the order of the rest.
+// The window holds (r+1)*(l+1) - 1 units of c elements at offset lo.
+//
+// For r <= l it reduces to the plain equidistant gather; otherwise it
+// partitions the window into l+1 sub-windows, gathers each recursively,
+// and finishes with one chunk-level gather that treats whole sub-results
+// as units — the C-chunk scheme of the paper.
+func ExtendedPerfect[T any, V vec.Vec[T]](rn par.Runner, v V, lo, r, l, c int) {
+	if r <= l {
+		Equidistant[T](rn, v, lo, r, l, c)
+		return
+	}
+	if (r+1)%(l+1) != 0 {
+		panic(fmt.Sprintf("gather: extended shape needs (l+1) | (r+1), got r=%d l=%d", r, l))
+	}
+	cc := (r + 1) / (l + 1) // interleaved units per partition
+	// Partition 0: shape a with r0 = cc-1, size cc*(l+1)-1 units.
+	// Partitions 1..l: shape b with cc interleaved units, cc*(l+1) units.
+	s0 := cc*(l+1) - 1
+	sp := cc * (l + 1)
+	if rn.IsSerial() {
+		ExtendedPerfect[T](rn, v, lo, cc-1, l, c)
+		for i := 1; i <= l; i++ {
+			extendedC[T](rn, v, lo+(s0+(i-1)*sp)*c, cc, l, c)
+		}
+	} else {
+		rn.Tasks(l+1, func(i int, sub par.Runner) {
+			if i == 0 {
+				ExtendedPerfect[T](sub, v, lo, cc-1, l, c)
+				return
+			}
+			start := lo + (s0+(i-1)*sp)*c
+			extendedC[T](sub, v, start, cc, l, c)
+		})
+	}
+	// Chunk-level gather with units of cc*c elements, skipping the cc-1
+	// already-gathered units at the very front: the remaining pattern is
+	// ([l chunks][1 chunk])^l [l chunks].
+	Equidistant[T](rn, v, lo+(cc-1)*c, l, l, cc*c)
+}
+
+// extendedC gathers the "interleaved-first" pattern ([1 unit][l units])^rb
+// — rb*(l+1) units total — moving the rb interleaved units, in order, to
+// the front and preserving the order of the rest. Requires rb <= l+1 or
+// (l+1) | rb (always satisfied by the callers: rb is a power of l+1 for
+// B-trees and a small constant for the non-perfect vEB path).
+func extendedC[T any, V vec.Vec[T]](rn par.Runner, v V, lo, rb, l, c int) {
+	if rb <= 1 {
+		return // [1][l] is already gathered
+	}
+	if rb <= l+1 {
+		// Skip the leading interleaved unit (already in place); the rest
+		// is ([l][1])^(rb-1) [l], i.e. shape a with r = rb-1 <= l.
+		Equidistant[T](rn, v, lo+c, rb-1, l, c)
+		return
+	}
+	if rb%(l+1) != 0 {
+		panic(fmt.Sprintf("gather: interleaved-first shape needs rb <= l+1 or (l+1) | rb, got rb=%d l=%d", rb, l))
+	}
+	cc := rb / (l + 1)
+	sp := cc * (l + 1)
+	if rn.IsSerial() {
+		for i := 0; i <= l; i++ {
+			extendedC[T](rn, v, lo+i*sp*c, cc, l, c)
+		}
+	} else {
+		rn.Tasks(l+1, func(i int, sub par.Runner) {
+			extendedC[T](sub, v, lo+i*sp*c, cc, l, c)
+		})
+	}
+	// Chunk view with chunks of cc units: ([1 chunk][l chunks])^(l+1);
+	// skip the first chunk and gather the remaining shape-a pattern.
+	Equidistant[T](rn, v, lo+cc*c, l, l, cc*c)
+}

@@ -1,0 +1,220 @@
+package gather
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"implicitlayout/internal/par"
+	"implicitlayout/internal/vec"
+)
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// refGather computes the gather out of place: the units at 1-indexed unit
+// positions that are multiples of l+1 (the interleaved T0 units) move, in
+// order, to the front; all other units keep their relative order. It works
+// for both shape a ((r+1)(l+1)-1 units) and the interleaved patterns used
+// by the extended gather.
+func refGather(in []int, l, c int) []int {
+	nu := len(in) / c
+	var tops, rest []int
+	for u := 0; u < nu; u++ {
+		unit := in[u*c : (u+1)*c]
+		if (u+1)%(l+1) == 0 {
+			tops = append(tops, unit...)
+		} else {
+			rest = append(rest, unit...)
+		}
+	}
+	return append(tops, rest...)
+}
+
+func runners() []par.Runner {
+	return []par.Runner{
+		par.New(1),
+		{Lo: 0, Hi: 2, MinFor: 1},
+		{Lo: 0, Hi: 5, MinFor: 1},
+	}
+}
+
+func TestEquidistantAgainstReference(t *testing.T) {
+	for _, rn := range runners() {
+		for _, tc := range []struct{ r, l, c int }{
+			{1, 1, 1}, {2, 2, 1}, {3, 3, 1}, {7, 7, 1}, {2, 5, 1}, {1, 9, 1},
+			{4, 4, 3}, {3, 6, 2}, {5, 5, 4}, {0, 3, 1}, {15, 15, 1}, {10, 31, 2},
+		} {
+			n := (tc.r + (tc.r+1)*tc.l) * tc.c
+			a := seq(n)
+			want := refGather(seq(n), tc.l, tc.c)
+			Equidistant[int](rn, vec.Of(a), 0, tc.r, tc.l, tc.c)
+			if !reflect.DeepEqual(a, want) {
+				t.Fatalf("P=%d r=%d l=%d c=%d:\n got %v\nwant %v", rn.P(), tc.r, tc.l, tc.c, a, want)
+			}
+		}
+	}
+}
+
+func TestEquidistantWithOffset(t *testing.T) {
+	rn := par.New(2)
+	pad := 4
+	r, l, c := 3, 3, 2
+	n := (r + (r+1)*l) * c
+	a := seq(pad + n + pad)
+	want := append(append(seq(pad), refGather(seq2(pad, n), l, c)...), seq2(pad+n, pad)...)
+	Equidistant[int](rn, vec.Of(a), pad, r, l, c)
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("offset gather:\n got %v\nwant %v", a, want)
+	}
+}
+
+func seq2(start, n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = start + i
+	}
+	return s
+}
+
+func TestEquidistantPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for r > l")
+		}
+	}()
+	a := seq(100)
+	Equidistant[int](par.New(1), vec.Of(a), 0, 5, 2, 1)
+}
+
+// TestExtendedPerfect checks the r > l recursion against the reference for
+// B-tree shapes: r = (l+1)^(e-1) - 1.
+func TestExtendedPerfect(t *testing.T) {
+	for _, rn := range runners() {
+		for _, tc := range []struct{ l, e, c int }{
+			{1, 2, 1}, {1, 3, 1}, {1, 4, 1}, {1, 5, 1},
+			{2, 2, 1}, {2, 3, 1}, {2, 4, 1},
+			{3, 3, 1}, {3, 3, 2}, {7, 2, 1}, {7, 3, 1}, {4, 3, 3},
+		} {
+			k := tc.l + 1
+			r := pow(k, tc.e-1) - 1
+			n := (pow(k, tc.e) - 1) * tc.c
+			a := seq(n)
+			want := refGather(seq(n), tc.l, tc.c)
+			ExtendedPerfect[int](rn, vec.Of(a), 0, r, tc.l, tc.c)
+			if !reflect.DeepEqual(a, want) {
+				t.Fatalf("P=%d l=%d e=%d c=%d (r=%d):\n got %v\nwant %v",
+					rn.P(), tc.l, tc.e, tc.c, r, a[:min(len(a), 40)], want[:min(len(want), 40)])
+			}
+		}
+	}
+}
+
+// TestExtendedPerfectVEBShapes checks the shapes used by the non-perfect
+// vEB path: r+1 = 4(l+1).
+func TestExtendedPerfectVEBShapes(t *testing.T) {
+	rn := par.New(3)
+	rn.MinFor = 1
+	for _, x := range []int{3, 4, 5, 6} {
+		l := 1<<uint(x-2) - 1
+		r := 1<<uint(x) - 1
+		n := r + (r+1)*l
+		a := seq(n)
+		want := refGather(seq(n), l, 1)
+		ExtendedPerfect[int](rn, vec.Of(a), 0, r, l, 1)
+		if !reflect.DeepEqual(a, want) {
+			t.Fatalf("x=%d r=%d l=%d: extended gather mismatch", x, r, l)
+		}
+	}
+}
+
+// TestTransposedMatchesEquidistant: the I/O-optimized transpose variant
+// computes the same permutation as the direct gather for r == l.
+func TestTransposedMatchesEquidistant(t *testing.T) {
+	for _, rn := range runners() {
+		for _, tc := range []struct{ r, c int }{
+			{1, 1}, {2, 1}, {3, 1}, {4, 1}, {7, 1}, {15, 1}, {31, 1}, {33, 1},
+			{3, 2}, {8, 3}, {40, 1}, {64, 1},
+		} {
+			n := (tc.r + (tc.r+1)*tc.r) * tc.c
+			a := seq(n)
+			b := seq(n)
+			Transposed[int](rn, vec.Of(a), 0, tc.r, tc.c)
+			Equidistant[int](rn, vec.Of(b), 0, tc.r, tc.r, tc.c)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("P=%d r=%d c=%d: transposed gather differs from direct", rn.P(), tc.r, tc.c)
+			}
+		}
+	}
+}
+
+// TestGatherRandomized fuzzes shapes and worker counts.
+func TestGatherRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		l := rng.Intn(12) + 1
+		r := rng.Intn(l) + 1 // r <= l
+		c := rng.Intn(3) + 1
+		p := rng.Intn(6) + 1
+		rn := par.Runner{Lo: 0, Hi: p, MinFor: 1}
+		n := (r + (r+1)*l) * c
+		a := seq(n)
+		want := refGather(seq(n), l, c)
+		Equidistant[int](rn, vec.Of(a), 0, r, l, c)
+		if !reflect.DeepEqual(a, want) {
+			t.Fatalf("trial %d r=%d l=%d c=%d P=%d: mismatch", trial, r, l, c, p)
+		}
+	}
+}
+
+func pow(k, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= k
+	}
+	return r
+}
+
+// TestEquidistantBatchedMatchesPlain: the Section 4.2 "simpler solution"
+// (batched cycle processing) computes the identical permutation.
+func TestEquidistantBatchedMatchesPlain(t *testing.T) {
+	for _, rn := range runners() {
+		for _, tc := range []struct{ r, l, c, batch int }{
+			{1, 1, 1, 2}, {3, 3, 1, 2}, {7, 7, 1, 4}, {15, 15, 1, 8},
+			{5, 9, 1, 3}, {31, 31, 1, 8}, {8, 8, 2, 4}, {63, 63, 1, 16},
+			{4, 4, 1, 99}, // batch > l falls back to the plain gather
+		} {
+			n := (tc.r + (tc.r+1)*tc.l) * tc.c
+			a := seq(n)
+			want := refGather(seq(n), tc.l, tc.c)
+			EquidistantBatched[int](rn, vec.Of(a), 0, tc.r, tc.l, tc.c, tc.batch)
+			if !reflect.DeepEqual(a, want) {
+				t.Fatalf("P=%d r=%d l=%d c=%d batch=%d: mismatch", rn.P(), tc.r, tc.l, tc.c, tc.batch)
+			}
+		}
+	}
+}
+
+// TestBatchedGatherRandomized fuzzes the batched gather.
+func TestBatchedGatherRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		l := rng.Intn(20) + 1
+		r := rng.Intn(l) + 1
+		batch := rng.Intn(l+2) + 2
+		p := rng.Intn(4) + 1
+		rn := par.Runner{Lo: 0, Hi: p, MinFor: 1}
+		n := r + (r+1)*l
+		a := seq(n)
+		want := refGather(seq(n), l, 1)
+		EquidistantBatched[int](rn, vec.Of(a), 0, r, l, 1, batch)
+		if !reflect.DeepEqual(a, want) {
+			t.Fatalf("trial %d r=%d l=%d batch=%d P=%d: mismatch", trial, r, l, batch, p)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+
+	"implicitlayout/internal/core"
+	"implicitlayout/internal/vec"
+	"implicitlayout/internal/workload"
+	"implicitlayout/layout"
+)
+
+var _ vec.Vec[uint64] = (*Vec[uint64])(nil)
+
+func TestCoalescedVsScatteredTxns(t *testing.T) {
+	dev := TeslaK40()
+	n := 1 << 14
+	data := make([]uint64, n)
+
+	v := NewVec(data, 1, dev)
+	for i := 0; i < n; i++ {
+		v.Get(0, i) // streaming
+	}
+	seqTxns := v.Cost().Txns
+
+	v2 := NewVec(data, 1, dev)
+	stride := 4099
+	for i := 0; i < n; i++ {
+		v2.Get(0, (i*stride)%n) // scattered
+	}
+	scatTxns := v2.Cost().Txns
+
+	wordsPerLine := int64(dev.LineBytes / dev.WordBytes)
+	if seqTxns != int64(n)/wordsPerLine {
+		t.Fatalf("streaming txns = %d, want %d", seqTxns, int64(n)/wordsPerLine)
+	}
+	if scatTxns < 8*seqTxns {
+		t.Fatalf("scattered %d vs streaming %d: expected >= 8x", scatTxns, seqTxns)
+	}
+}
+
+func TestRunPermuteCorrectAndCosted(t *testing.T) {
+	dev := TeslaK40()
+	for _, n := range []int{26, 1000, 4095} {
+		for _, spec := range []struct {
+			k layout.Kind
+			a core.Algorithm
+		}{
+			{layout.BST, core.Involution}, {layout.BST, core.CycleLeader},
+			{layout.BTree, core.Involution}, {layout.BTree, core.CycleLeader},
+			{layout.VEB, core.Involution}, {layout.VEB, core.CycleLeader},
+		} {
+			data := workload.Sorted(n)
+			c := RunPermute(dev, data, spec.k, spec.a, 4, 2)
+			want := layout.Build(layout.Kind(spec.k), workload.Sorted(n), 4)
+			if !reflect.DeepEqual(data, want) {
+				t.Fatalf("%v/%v n=%d: GPU-backend permutation wrong", spec.k, spec.a, n)
+			}
+			if c.Txns <= 0 || c.Launches <= 0 {
+				t.Fatalf("%v/%v: degenerate cost %+v", spec.k, spec.a, c)
+			}
+		}
+	}
+}
+
+// TestLaunchOrdering: the kernel-decomposition model must reproduce the
+// paper's Figure 6.8 mechanism — flat algorithms launch few kernels, the
+// recursive vEB ports launch orders of magnitude more.
+func TestLaunchOrdering(t *testing.T) {
+	n := 1 << 22
+	b := 32
+	invBST := Launches(layout.BST, core.Involution, n, b)
+	invBT := Launches(layout.BTree, core.Involution, n, b)
+	cycBT := Launches(layout.BTree, core.CycleLeader, n, b)
+	cycVEB := Launches(layout.VEB, core.CycleLeader, n, b)
+	if invBST > 20 {
+		t.Fatalf("involution BST should be a handful of kernels, got %d", invBST)
+	}
+	if invBT > 100 || cycBT > 100 {
+		t.Fatalf("flat B-tree ports should be tens of kernels: inv=%d cyc=%d", invBT, cycBT)
+	}
+	if cycVEB < 100*cycBT {
+		t.Fatalf("recursive vEB port should dwarf the flat ports: veb=%d btree=%d", cycVEB, cycBT)
+	}
+}
+
+// TestGPUQueryCorrectness: the query kernels agree with plain search on
+// hits and misses for every layout.
+func TestGPUQueryCorrectness(t *testing.T) {
+	dev := TeslaK40()
+	n := 2000
+	sorted := workload.Sorted(n)
+	queries := workload.Queries(500, n, 0.5, 7)
+	wantHits := 0
+	for _, q := range queries {
+		if q%2 == 1 {
+			wantHits++
+		}
+	}
+	for _, k := range []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB} {
+		arr := sorted
+		if k != layout.Sorted {
+			arr = layout.Build(k, sorted, 8)
+		}
+		v := NewVec(arr, 1, dev)
+		nav := layout.NewVEBNav(n)
+		hits := 0
+		for _, q := range queries {
+			if pos := queryKernel(v, nav, 0, n, k, 8, q); pos >= 0 {
+				if arr[pos] != q {
+					t.Fatalf("%v: found wrong key", k)
+				}
+				hits++
+			}
+		}
+		if hits != wantHits {
+			t.Fatalf("%v: hits = %d, want %d", k, hits, wantHits)
+		}
+	}
+}
+
+// TestTimeModelMonotone: more of any cost component means more time.
+func TestTimeModelMonotone(t *testing.T) {
+	dev := TeslaK40()
+	base := Cost{Launches: 10, Txns: 1000, Instr: 1000}
+	tm := dev.TimeMS(base)
+	if dev.TimeMS(base.Add(Cost{Launches: 10})) <= tm {
+		t.Fatal("launches must add time")
+	}
+	if dev.TimeMS(base.Add(Cost{Txns: 1 << 20})) <= tm {
+		t.Fatal("txns must add time")
+	}
+	if tm <= 0 {
+		t.Fatal("time must be positive")
+	}
+}
+
+func TestVecReset(t *testing.T) {
+	v := NewVec(make([]uint64, 64), 1, TeslaK40())
+	v.Get(0, 0)
+	if v.Cost().Txns != 1 {
+		t.Fatal("miss not counted")
+	}
+	v.Reset()
+	if v.Cost().Txns != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	v.Get(0, 0)
+	if v.Cost().Txns != 1 {
+		t.Fatal("cache not cold after Reset")
+	}
+}

@@ -1,0 +1,87 @@
+// Package numth implements the modest number-theoretic machinery behind the
+// involution decomposition of the k-way perfect shuffle (Yang, Ellis,
+// Mamakani, Ruskey 2013): greatest common divisors, the extended Euclidean
+// algorithm, modular inverses, and the J_r involutions whose composition
+// J_k ∘ J_1 equals the shuffle permutation sigma(i) = k*i mod (N-1).
+package numth
+
+// GCD returns the greatest common divisor of a and b, with GCD(0, 0) == 0.
+func GCD(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ExtGCD returns (g, x, y) such that a*x + b*y == g == gcd(a, b), using the
+// iterative extended Euclidean algorithm. x and y may be negative.
+func ExtGCD(a, b int64) (g, x, y int64) {
+	x0, x1 := int64(1), int64(0)
+	y0, y1 := int64(0), int64(1)
+	for b != 0 {
+		q := a / b
+		a, b = b, a-q*b
+		x0, x1 = x1, x0-q*x1
+		y0, y1 = y1, y0-q*y1
+	}
+	return a, x0, y0
+}
+
+// ModInverse returns the multiplicative inverse of a modulo m (0 < result <
+// m), and panics if gcd(a, m) != 1 or m < 2. Its running time, O(log m),
+// dominates the per-element cost of the J involutions — the O(log N) factor
+// in the involution B-tree row of Table 1.1.
+func ModInverse(a, m uint64) uint64 {
+	if m < 2 {
+		panic("numth: ModInverse modulus must be >= 2")
+	}
+	a %= m
+	g, x, _ := ExtGCD(int64(a), int64(m))
+	if g != 1 {
+		panic("numth: ModInverse of non-coprime element")
+	}
+	xm := x % int64(m)
+	if xm < 0 {
+		xm += int64(m)
+	}
+	return uint64(xm)
+}
+
+// J computes the involution J_r on the index set {0, ..., m} where m = N-1:
+//
+//	J_r(i) = g * ( r * (i/g)^{-1} mod (m/g) ),  g = gcd(i, m),
+//
+// with the fixed points J_r(0) = 0 and J_r(m) = m. J_r is an involution
+// whenever gcd(r, m) == 1; the k-way perfect shuffle of N elements
+// (sigma(i) = k*i mod m) factors as sigma = J_k ∘ J_1 because N ≡ 0 (mod k)
+// implies gcd(k, m) == 1.
+func J(r, i, m uint64) uint64 {
+	if i == 0 || i == m {
+		return i
+	}
+	g := GCD(i, m)
+	mg := m / g
+	inv := ModInverse(i/g, mg)
+	return g * (r % mg * inv % mg)
+}
+
+// Shuffle returns sigma(i) = k*i mod (N-1) for 0 <= i < N, with
+// sigma(N-1) = N-1: the position that element i of the deck-major input
+// occupies after a k-way perfect shuffle of N = k*m elements.
+func Shuffle(k, i, n uint64) uint64 {
+	if n < 2 || i == n-1 {
+		return i
+	}
+	return k * i % (n - 1)
+}
+
+// Unshuffle returns sigma^{-1}(i): the position element i moves to under
+// the k-way perfect un-shuffle of N elements.
+func Unshuffle(k, i, n uint64) uint64 {
+	if n < 2 || i == n-1 {
+		return i
+	}
+	m := n - 1
+	// sigma^{-1}(i) = (N/k) * i mod (N-1) since k * (N/k) = N ≡ 1 (mod N-1).
+	return n / k * i % m
+}

@@ -1,0 +1,122 @@
+package numth
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, w uint64 }{
+		{0, 0, 0}, {0, 5, 5}, {5, 0, 5}, {12, 18, 6}, {17, 13, 1}, {100, 75, 25},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.w {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestExtGCDBezout(t *testing.T) {
+	f := func(aRaw, bRaw uint16) bool {
+		a, b := int64(aRaw)+1, int64(bRaw)+1
+		g, x, y := ExtGCD(a, b)
+		return a*x+b*y == g && g == int64(GCD(uint64(a), uint64(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	f := func(aRaw, mRaw uint16) bool {
+		m := uint64(mRaw)%1000 + 2
+		a := uint64(aRaw)%m + 1
+		if GCD(a, m) != 1 {
+			return true // skip non-coprime draws
+		}
+		inv := ModInverse(a, m)
+		return inv > 0 && inv < m && a*inv%m == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModInversePanicsOnNonCoprime(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-coprime inverse")
+		}
+	}()
+	ModInverse(4, 8)
+}
+
+// TestJIsInvolution: J_r is an involution on {0..m} when gcd(r, m) == 1.
+func TestJIsInvolution(t *testing.T) {
+	for _, n := range []int{6, 9, 10, 12, 27, 64, 81, 100} {
+		m := uint64(n - 1)
+		for _, r := range []uint64{1, 2, 3} {
+			if GCD(r, m) != 1 {
+				continue
+			}
+			for i := uint64(0); i <= m; i++ {
+				j := J(r, i, m)
+				if j > m {
+					t.Fatalf("J_%d(%d) mod %d = %d out of range", r, i, m, j)
+				}
+				if J(r, j, m) != i {
+					t.Fatalf("J_%d not involution at i=%d (m=%d): J(J(i))=%d", r, i, m, J(r, j, m))
+				}
+			}
+		}
+	}
+}
+
+// TestShuffleFactorsThroughJ: sigma(i) = k*i mod (n-1) equals J_k(J_1(i)),
+// the involution factorization of Yang et al. used by every Ξ₂ round.
+func TestShuffleFactorsThroughJ(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{6, 2}, {6, 3}, {12, 2}, {12, 3}, {12, 4}, {27, 3}, {100, 5}, {64, 2},
+	} {
+		m := uint64(tc.n - 1)
+		k := uint64(tc.k)
+		for i := uint64(0); i < uint64(tc.n); i++ {
+			want := Shuffle(k, i, uint64(tc.n))
+			got := J(k, J(1, i, m), m)
+			if got != want {
+				t.Fatalf("n=%d k=%d i=%d: J_k(J_1(i))=%d, want sigma(i)=%d", tc.n, tc.k, i, got, want)
+			}
+		}
+	}
+}
+
+// TestUnshuffleInvertsShuffle on full index sets.
+func TestUnshuffleInvertsShuffle(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{6, 2}, {12, 3}, {27, 3}, {64, 2}, {125, 5},
+	} {
+		n, k := uint64(tc.n), uint64(tc.k)
+		for i := uint64(0); i < n; i++ {
+			if Unshuffle(k, Shuffle(k, i, n), n) != i {
+				t.Fatalf("n=%d k=%d: unshuffle(shuffle(%d)) != %d", tc.n, tc.k, i, i)
+			}
+		}
+	}
+}
+
+// TestShuffleInterleaves: the shuffle of k decks of m cards interleaves
+// them: input position c*m+j lands at j*k+c.
+func TestShuffleInterleaves(t *testing.T) {
+	for _, tc := range []struct{ k, m int }{{2, 5}, {3, 4}, {4, 4}, {5, 3}} {
+		n := uint64(tc.k * tc.m)
+		for c := 0; c < tc.k; c++ {
+			for j := 0; j < tc.m; j++ {
+				i := uint64(c*tc.m + j)
+				want := uint64(j*tc.k + c)
+				if got := Shuffle(uint64(tc.k), i, n); got != want {
+					t.Fatalf("k=%d m=%d: shuffle(%d)=%d, want %d", tc.k, tc.m, i, got, want)
+				}
+			}
+		}
+	}
+}

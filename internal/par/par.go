@@ -1,0 +1,204 @@
+// Package par is the parallel runtime used by every permutation algorithm.
+// It provides fork-join data parallelism over an explicit worker-id range,
+// which is what the paper's PRAM algorithms need: each of the P processors
+// owns a contiguous block of iterations (CREW discipline, deterministic
+// partitioning) and backends such as the PEM simulator account I/Os per
+// worker id.
+//
+// A Runner owns the half-open worker-id interval [lo, hi). Nested
+// parallelism (the recursive cycle-leader algorithms) splits the interval
+// into disjoint sub-intervals, so two concurrently running tasks never
+// share a worker id. Total extra space is O(P log N): one goroutine stack
+// per worker plus the recursion bookkeeping, which satisfies the paper's
+// Definition 1 of parallel in-place computation.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultMinFor is the smallest iteration count worth forking for. Runs
+// that need exact P-way splits regardless of size (e.g. the PEM simulator)
+// lower it to 1.
+const DefaultMinFor = 1 << 11
+
+// Runner executes loops and task groups on the worker-id range [Lo, Hi).
+type Runner struct {
+	// Lo and Hi bound the half-open worker-id interval owned by this runner.
+	Lo, Hi int
+	// MinFor is the minimum loop length that is split across workers;
+	// shorter loops run inline on worker Lo. Zero means DefaultMinFor.
+	MinFor int
+}
+
+// New returns a Runner with p workers (ids 0..p-1). p < 1 selects
+// runtime.GOMAXPROCS(0) workers.
+func New(p int) Runner {
+	if p < 1 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return Runner{Lo: 0, Hi: p}
+}
+
+// Serial returns a single-worker Runner pinned to worker id w.
+func Serial(w int) Runner { return Runner{Lo: w, Hi: w + 1} }
+
+// P returns the number of workers owned by the runner.
+func (r Runner) P() int { return r.Hi - r.Lo }
+
+// IsSerial reports whether the runner owns a single worker.
+func (r Runner) IsSerial() bool { return r.P() <= 1 }
+
+func (r Runner) minFor() int {
+	if r.MinFor > 0 {
+		return r.MinFor
+	}
+	return DefaultMinFor
+}
+
+// For runs f over the index range [0, n), split into at most P contiguous
+// blocks, one per worker. f receives the worker id and its block [lo, hi).
+// For blocks until every worker has finished: it is one synchronous
+// parallel round in the PRAM sense.
+func (r Runner) For(n int, f func(p, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := r.P()
+	if p <= 1 || n < r.minFor() {
+		f(r.Lo, 0, n)
+		return
+	}
+	chunk := (n + p - 1) / p
+	var wg sync.WaitGroup
+	for w := 1; w < p; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(id, lo, hi int) {
+			defer wg.Done()
+			f(id, lo, hi)
+		}(r.Lo+w, lo, hi)
+	}
+	f(r.Lo, 0, min(chunk, n))
+	wg.Wait()
+}
+
+// ForWeighted runs f over [0, n) like For, but splits the range so that
+// every worker receives approximately equal total weight, where the weight
+// of the prefix [0, i) is given by the monotone function cum(i) with
+// cum(0) == 0. The equidistant gather uses it to balance cycles whose
+// lengths grow linearly with the cycle index.
+func (r Runner) ForWeighted(n int, cum func(i int) int, f func(p, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := r.P()
+	if p <= 1 || n < 2*p {
+		f(r.Lo, 0, n)
+		return
+	}
+	total := cum(n)
+	if total <= 0 {
+		f(r.Lo, 0, n)
+		return
+	}
+	// bounds[w] = smallest i with cum(i) >= w*total/p; the non-decreasing
+	// boundaries partition [0, n) into blocks of near-equal weight.
+	bounds := make([]int, p+1)
+	bounds[p] = n
+	for w := 1; w < p; w++ {
+		target := w * (total / p)
+		lo, hi := bounds[w-1], n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum(mid) < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		bounds[w] = lo
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < p; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(id, lo, hi int) {
+			defer wg.Done()
+			f(id, lo, hi)
+		}(r.Lo+w, lo, hi)
+	}
+	if bounds[0] < bounds[1] {
+		f(r.Lo, bounds[0], bounds[1])
+	}
+	wg.Wait()
+}
+
+// Tasks runs m independent tasks. When m >= P each worker processes a
+// contiguous block of tasks serially; when m < P the worker range is split
+// into m sub-runners so each task keeps internal parallelism. task receives
+// the task index and the Runner it may use.
+func (r Runner) Tasks(m int, task func(i int, sub Runner)) {
+	if m <= 0 {
+		return
+	}
+	p := r.P()
+	switch {
+	case p <= 1 || m == 1:
+		if m == 1 {
+			task(0, r)
+			return
+		}
+		for i := 0; i < m; i++ {
+			task(i, Serial(r.Lo))
+		}
+	case m >= p:
+		r.For(m, func(w, lo, hi int) {
+			sub := Serial(w)
+			for i := lo; i < hi; i++ {
+				task(i, sub)
+			}
+		})
+	default:
+		// Fewer tasks than workers: give each task a disjoint slice of
+		// the worker range.
+		chunk := p / m
+		rem := p % m
+		var wg sync.WaitGroup
+		lo := r.Lo
+		var first Runner
+		for i := 0; i < m; i++ {
+			w := chunk
+			if i < rem {
+				w++
+			}
+			sub := Runner{Lo: lo, Hi: lo + w, MinFor: r.MinFor}
+			lo += w
+			if i == 0 {
+				first = sub
+				continue
+			}
+			wg.Add(1)
+			go func(i int, sub Runner) {
+				defer wg.Done()
+				task(i, sub)
+			}(i, sub)
+		}
+		task(0, first)
+		wg.Wait()
+	}
+}
+
+// Do runs the given functions concurrently, splitting the worker range
+// between them, and returns when all have finished.
+func (r Runner) Do(fs ...func(sub Runner)) {
+	r.Tasks(len(fs), func(i int, sub Runner) { fs[i](sub) })
+}

@@ -1,0 +1,176 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 5, 100, 10000} {
+			r := Runner{Lo: 0, Hi: p, MinFor: 1}
+			hit := make([]int32, n)
+			r.For(n, func(w, lo, hi int) {
+				if w < 0 || w >= p {
+					t.Errorf("worker id %d out of range [0,%d)", w, p)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hit[i], 1)
+				}
+			})
+			for i, h := range hit {
+				if h != 1 {
+					t.Fatalf("P=%d n=%d: index %d hit %d times", p, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForDistinctWorkerIDs(t *testing.T) {
+	r := Runner{Lo: 3, Hi: 7, MinFor: 1}
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	r.For(400, func(w, lo, hi int) {
+		mu.Lock()
+		if seen[w] {
+			mu.Unlock()
+			t.Errorf("worker id %d used twice", w)
+			return
+		}
+		seen[w] = true
+		mu.Unlock()
+	})
+	for w := range seen {
+		if w < 3 || w >= 7 {
+			t.Errorf("worker id %d outside runner range [3,7)", w)
+		}
+	}
+}
+
+func TestForSerialBelowMinFor(t *testing.T) {
+	r := Runner{Lo: 2, Hi: 6, MinFor: 1000}
+	calls := 0
+	r.For(10, func(w, lo, hi int) {
+		calls++
+		if w != 2 || lo != 0 || hi != 10 {
+			t.Errorf("expected single inline call on worker 2, got w=%d [%d,%d)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("expected 1 call, got %d", calls)
+	}
+}
+
+func TestForWeightedCoversRange(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		r := Runner{Lo: 0, Hi: p, MinFor: 1}
+		n := 500
+		cum := func(i int) int { return i * (i + 3) / 2 } // quadratic weights
+		hit := make([]int32, n)
+		r.ForWeighted(n, cum, func(w, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hit[i], 1)
+			}
+		})
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("P=%d: index %d hit %d times", p, i, h)
+			}
+		}
+	}
+}
+
+func TestForWeightedBalance(t *testing.T) {
+	p := 4
+	r := Runner{Lo: 0, Hi: p, MinFor: 1}
+	n := 10000
+	cum := func(i int) int { return i * (i + 1) / 2 }
+	var mu sync.Mutex
+	loads := map[int]int{}
+	r.ForWeighted(n, cum, func(w, lo, hi int) {
+		mu.Lock()
+		loads[w] += cum(hi) - cum(lo)
+		mu.Unlock()
+	})
+	total := cum(n)
+	for w, load := range loads {
+		if load > total/p*2 {
+			t.Errorf("worker %d got %d of %d total weight: imbalanced", w, load, total)
+		}
+	}
+}
+
+func TestTasksAllRunWithDisjointRunners(t *testing.T) {
+	for _, p := range []int{1, 2, 4} {
+		for _, m := range []int{1, 2, 3, 10, 100} {
+			r := Runner{Lo: 0, Hi: p, MinFor: 1}
+			ran := make([]int32, m)
+			var mu sync.Mutex
+			type span struct{ lo, hi int }
+			active := []span{}
+			r.Tasks(m, func(i int, sub Runner) {
+				atomic.AddInt32(&ran[i], 1)
+				if sub.P() < 1 {
+					t.Errorf("task %d got empty runner", i)
+				}
+				mu.Lock()
+				active = append(active, span{sub.Lo, sub.Hi})
+				mu.Unlock()
+			})
+			for i, c := range ran {
+				if c != 1 {
+					t.Fatalf("P=%d m=%d: task %d ran %d times", p, m, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestTasksSplitRunnersDisjoint: with fewer tasks than workers, the
+// sub-runners partition the worker range.
+func TestTasksSplitRunnersDisjoint(t *testing.T) {
+	r := Runner{Lo: 0, Hi: 8, MinFor: 1}
+	var mu sync.Mutex
+	used := map[int]int{}
+	r.Tasks(3, func(i int, sub Runner) {
+		mu.Lock()
+		defer mu.Unlock()
+		for w := sub.Lo; w < sub.Hi; w++ {
+			used[w]++
+		}
+	})
+	if len(used) != 8 {
+		t.Fatalf("expected all 8 workers assigned, got %d", len(used))
+	}
+	for w, c := range used {
+		if c != 1 {
+			t.Fatalf("worker %d assigned to %d tasks", w, c)
+		}
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	r := New(4)
+	var a, b int32
+	r.Do(
+		func(sub Runner) { atomic.AddInt32(&a, 1) },
+		func(sub Runner) { atomic.AddInt32(&b, 1) },
+	)
+	if a != 1 || b != 1 {
+		t.Fatalf("Do did not run all functions: a=%d b=%d", a, b)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	if New(0).P() < 1 {
+		t.Fatal("New(0) should give at least one worker")
+	}
+	if New(5).P() != 5 {
+		t.Fatal("New(5) should give 5 workers")
+	}
+	if !Serial(3).IsSerial() || Serial(3).Lo != 3 {
+		t.Fatal("Serial(3) wrong")
+	}
+}

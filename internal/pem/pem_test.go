@@ -1,0 +1,142 @@
+package pem
+
+import (
+	"testing"
+
+	"implicitlayout/internal/par"
+	"implicitlayout/internal/shuffle"
+	"implicitlayout/internal/vec"
+)
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func TestSequentialScanCostsNOverB(t *testing.T) {
+	n := 1 << 12
+	v := New(seq(n), 1, Config{M: 1 << 8, B: 8})
+	for i := 0; i < n; i++ {
+		v.Get(0, i)
+	}
+	if got, want := v.TotalIO(), int64(n/8); got != want {
+		t.Fatalf("scan I/O = %d, want %d", got, want)
+	}
+}
+
+func TestCacheResidentWorkingSetIsFree(t *testing.T) {
+	v := New(seq(64), 1, Config{M: 1 << 8, B: 8})
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < 64; i++ {
+			v.Get(0, i)
+		}
+	}
+	// 8 blocks fetched once; all later passes hit.
+	if got := v.TotalIO(); got != 8 {
+		t.Fatalf("resident set I/O = %d, want 8", got)
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	// M/B = 2 lines. Touch blocks 0,1,0,2: block 1 must be evicted, so a
+	// later touch of 1 misses while 0... (0 was refreshed before 2, so 0
+	// stays, 1 evicted).
+	v := New(seq(64), 1, Config{M: 16, B: 8})
+	v.Get(0, 0)  // miss (block 0)
+	v.Get(0, 8)  // miss (block 1)
+	v.Get(0, 1)  // hit  (block 0, refresh)
+	v.Get(0, 16) // miss (block 2, evicts block 1)
+	v.Get(0, 2)  // hit  (block 0)
+	v.Get(0, 9)  // miss (block 1 was evicted)
+	if got := v.TotalIO(); got != 4 {
+		t.Fatalf("I/O = %d, want 4", got)
+	}
+}
+
+func TestSwapChargesBothSides(t *testing.T) {
+	v := New(seq(1024), 1, Config{M: 64, B: 8})
+	v.Swap(0, 0, 512)
+	if got := v.TotalIO(); got != 2 {
+		t.Fatalf("swap I/O = %d, want 2", got)
+	}
+	if v.Data[0] != 512 || v.Data[512] != 0 {
+		t.Fatal("swap did not move data")
+	}
+}
+
+func TestSwapRangeCountsBlocks(t *testing.T) {
+	v := New(seq(1024), 1, Config{M: 1 << 8, B: 8})
+	v.SwapRange(0, 0, 512, 64)
+	// 64 elements = 8 blocks per side.
+	if got := v.TotalIO(); got != 16 {
+		t.Fatalf("swaprange I/O = %d, want 16", got)
+	}
+}
+
+func TestPerProcessorAccounting(t *testing.T) {
+	n := 1 << 12
+	v := New(seq(n), 4, Config{M: 1 << 8, B: 8})
+	rn := par.Runner{Lo: 0, Hi: 4, MinFor: 1}
+	shuffle.Reverse[int](rn, v, 0, n)
+	if v.MaxIO() <= 0 {
+		t.Fatal("no I/Os recorded")
+	}
+	if v.MaxIO() > v.TotalIO() {
+		t.Fatal("MaxIO exceeds TotalIO")
+	}
+	// A reversal splits evenly: max should be about total/4.
+	if v.MaxIO() > v.TotalIO()/2 {
+		t.Fatalf("imbalanced: max %d of total %d", v.MaxIO(), v.TotalIO())
+	}
+	for i := 0; i < n; i++ {
+		if v.Data[i] != n-1-i {
+			t.Fatal("reversal wrong through PEM backend")
+		}
+	}
+}
+
+// TestScatteredVsSequentialIO: the defining property the paper exploits —
+// B-wise blocked access costs a factor B fewer I/Os than scattered access.
+func TestScatteredVsSequentialIO(t *testing.T) {
+	n := 1 << 14
+	cfg := Config{M: 1 << 8, B: 8}
+	seqv := New(seq(n), 1, cfg)
+	for i := 0; i < n/2; i++ {
+		seqv.Swap(0, i, i+n/2) // both streams sequential
+	}
+	scat := New(seq(n), 1, cfg)
+	stride := 509 // prime >> cache
+	for i := 0; i < n/2; i++ {
+		scat.Swap(0, i, (i*stride)%n)
+	}
+	if scat.TotalIO() < 4*seqv.TotalIO() {
+		t.Fatalf("scattered %d vs sequential %d: expected >= 4x gap", scat.TotalIO(), seqv.TotalIO())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for M < 2B")
+		}
+	}()
+	New(seq(8), 1, Config{M: 8, B: 8})
+}
+
+func TestReset(t *testing.T) {
+	v := New(seq(64), 2, DefaultConfig())
+	v.Get(0, 0)
+	v.Reset()
+	if v.TotalIO() != 0 {
+		t.Fatal("Reset did not clear I/O counters")
+	}
+	v.Get(0, 0)
+	if v.TotalIO() != 1 {
+		t.Fatal("cache not cold after Reset")
+	}
+}
+
+var _ vec.Vec[int] = (*Vec[int])(nil)

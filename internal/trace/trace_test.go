@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"implicitlayout/internal/par"
+	"implicitlayout/internal/shuffle"
+)
+
+func TestCountsSerial(t *testing.T) {
+	v := New([]int{0, 1, 2, 3}, 1)
+	v.Swap(0, 0, 3)
+	v.Swap(0, 1, 2)
+	v.SwapRange(0, 0, 2, 2)
+	_ = v.Get(0, 1)
+	v.Set(0, 1, 9)
+	v.AddInstr(0, 7)
+	v.BeginRound("r", 4)
+	v.BeginRound("r", 4)
+
+	if v.Swaps() != 2+2 {
+		t.Fatalf("Swaps = %d, want 4", v.Swaps())
+	}
+	if v.Work() != 2*4+1+1 {
+		t.Fatalf("Work = %d, want 10", v.Work())
+	}
+	if v.Instr() != 7 || v.Rounds() != 2 {
+		t.Fatalf("Instr/Rounds wrong: %d %d", v.Instr(), v.Rounds())
+	}
+	if v.MaxWork() != v.Work() {
+		t.Fatal("single proc MaxWork must equal Work")
+	}
+	v.Reset()
+	if v.Work() != 0 || v.Rounds() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+// TestParallelAccountingMatchesSerial: total work is identical whatever
+// the worker count, and MaxWork shrinks with P.
+func TestParallelAccountingMatchesSerial(t *testing.T) {
+	n := 1 << 12
+	mk := func() []int {
+		s := make([]int, n)
+		for i := range s {
+			s[i] = i
+		}
+		return s
+	}
+	s1 := mk()
+	v1 := New(s1, 1)
+	shuffle.KShuffle[int](par.New(1), v1, 0, n, 4)
+
+	s4 := mk()
+	v4 := New(s4, 4)
+	shuffle.KShuffle[int](par.Runner{Lo: 0, Hi: 4, MinFor: 1}, v4, 0, n, 4)
+
+	if !reflect.DeepEqual(s1, s4) {
+		t.Fatal("results differ")
+	}
+	if v1.Work() != v4.Work() {
+		t.Fatalf("total work differs: %d vs %d", v1.Work(), v4.Work())
+	}
+	if v4.MaxWork() >= v1.MaxWork() {
+		t.Fatalf("P=4 MaxWork %d not smaller than serial %d", v4.MaxWork(), v1.MaxWork())
+	}
+
+	// A reversal assigns swaps perfectly evenly, so its per-processor
+	// balance must be near-ideal.
+	s := mk()
+	vr := New(s, 4)
+	shuffle.Reverse[int](par.Runner{Lo: 0, Hi: 4, MinFor: 1}, vr, 0, n)
+	if vr.MaxWork() > vr.Work()/4+64 {
+		t.Fatalf("reversal imbalanced: max %d of total %d", vr.MaxWork(), vr.Work())
+	}
+}
+
+// TestTraceDataIntact: counting must not corrupt the data.
+func TestTraceDataIntact(t *testing.T) {
+	s := []int{3, 1, 2}
+	v := New(s, 2)
+	v.Swap(1, 0, 1)
+	if !reflect.DeepEqual(s, []int{1, 3, 2}) {
+		t.Fatalf("data wrong: %v", s)
+	}
+}

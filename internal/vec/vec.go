@@ -1,0 +1,115 @@
+// Package vec defines the memory abstraction that every permutation
+// algorithm in this repository moves data through. Algorithms are generic
+// over a Vec so that a single code base serves three backends:
+//
+//   - Slice:   a bare slice, zero-overhead, used by the public perm API;
+//   - pem.Vec: the parallel-external-memory simulator, which counts block
+//     transfers per processor (validates the I/O column of Table 1.1);
+//   - gpu.Vec: the SIMT cost model, which charges memory transactions,
+//     instructions and kernel launches (reproduces the GPU figures).
+//
+// Every mutation is expressed as a swap (or a block swap), which makes the
+// in-place property of the algorithms structurally evident: no backend
+// needs auxiliary element storage.
+package vec
+
+// Vec is the minimal memory interface the permutation kernels require. The
+// p argument identifies the calling processor (worker); backends that model
+// per-processor caches use it for accounting and the slice backend ignores
+// it. Concurrent calls with distinct processors must only touch disjoint
+// index sets (the CREW discipline of the paper's PRAM algorithms).
+type Vec[T any] interface {
+	// Len returns the number of elements.
+	Len() int
+	// Get returns the element at index i.
+	Get(p, i int) T
+	// Set stores x at index i.
+	Set(p, i int, x T)
+	// Swap exchanges the elements at i and j.
+	Swap(p, i, j int)
+	// SwapRange exchanges the n-element blocks starting at i and j.
+	// The blocks must not overlap.
+	SwapRange(p, i, j, n int)
+	// BeginRound records the start of one parallel primitive round (one
+	// PRAM step of O(1) depth, or one GPU kernel launch) named name that
+	// will touch approximately n elements. Cost-model backends accumulate
+	// depth and launch overhead from it; the slice backend ignores it.
+	// Methods on the interface (rather than optional extensions) keep the
+	// hot path free of interface boxing.
+	BeginRound(name string, n int)
+	// AddInstr charges n model instructions to processor p, used by
+	// backends that cost index arithmetic (digit reversals, modular
+	// inverses). The slice backend ignores it.
+	AddInstr(p, n int)
+}
+
+// Slice adapts a plain slice to the Vec interface with no overhead beyond
+// bounds checks. The processor argument is ignored.
+type Slice[T any] struct{ S []T }
+
+// Of wraps s in a Slice backend.
+func Of[T any](s []T) Slice[T] { return Slice[T]{S: s} }
+
+// Len returns the number of elements.
+func (v Slice[T]) Len() int { return len(v.S) }
+
+// Get returns the element at index i.
+func (v Slice[T]) Get(_, i int) T { return v.S[i] }
+
+// Set stores x at index i.
+func (v Slice[T]) Set(_, i int, x T) { v.S[i] = x }
+
+// Swap exchanges elements i and j.
+func (v Slice[T]) Swap(_, i, j int) { v.S[i], v.S[j] = v.S[j], v.S[i] }
+
+// SwapRange exchanges the non-overlapping blocks [i, i+n) and [j, j+n).
+func (v Slice[T]) SwapRange(_, i, j, n int) {
+	a, b := v.S[i:i+n], v.S[j:j+n]
+	for k := range a {
+		a[k], b[k] = b[k], a[k]
+	}
+}
+
+// BeginRound is a no-op for the raw slice backend.
+func (Slice[T]) BeginRound(string, int) {}
+
+// AddInstr is a no-op for the raw slice backend.
+func (Slice[T]) AddInstr(int, int) {}
+
+// View restricts a Vec to the window [off, off+n), translating indices.
+// Views compose; all backends keep their accounting because calls forward
+// to the underlying Vec.
+type View[T any, V Vec[T]] struct {
+	Base V
+	Off  int
+	N    int
+}
+
+// Window returns a view of v covering [off, off+n).
+func Window[T any, V Vec[T]](v V, off, n int) View[T, V] {
+	if off < 0 || n < 0 || off+n > v.Len() {
+		panic("vec: window out of range")
+	}
+	return View[T, V]{Base: v, Off: off, N: n}
+}
+
+// Len returns the window length.
+func (w View[T, V]) Len() int { return w.N }
+
+// Get returns the element at window index i.
+func (w View[T, V]) Get(p, i int) T { return w.Base.Get(p, w.Off+i) }
+
+// Set stores x at window index i.
+func (w View[T, V]) Set(p, i int, x T) { w.Base.Set(p, w.Off+i, x) }
+
+// Swap exchanges window indices i and j.
+func (w View[T, V]) Swap(p, i, j int) { w.Base.Swap(p, w.Off+i, w.Off+j) }
+
+// SwapRange exchanges the window blocks [i, i+n) and [j, j+n).
+func (w View[T, V]) SwapRange(p, i, j, n int) { w.Base.SwapRange(p, w.Off+i, w.Off+j, n) }
+
+// BeginRound forwards round tracking to the base backend.
+func (w View[T, V]) BeginRound(name string, n int) { w.Base.BeginRound(name, n) }
+
+// AddInstr forwards instruction accounting to the base backend.
+func (w View[T, V]) AddInstr(p, n int) { w.Base.AddInstr(p, n) }

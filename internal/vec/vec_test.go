@@ -1,0 +1,82 @@
+package vec
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSliceBasicOps(t *testing.T) {
+	s := Of([]int{0, 1, 2, 3, 4, 5})
+	if s.Len() != 6 {
+		t.Fatal("Len wrong")
+	}
+	if s.Get(0, 3) != 3 {
+		t.Fatal("Get wrong")
+	}
+	s.Set(1, 0, 42)
+	if s.S[0] != 42 {
+		t.Fatal("Set wrong")
+	}
+	s.Swap(0, 0, 5)
+	if s.S[0] != 5 || s.S[5] != 42 {
+		t.Fatal("Swap wrong")
+	}
+	s.BeginRound("x", 1) // no-ops must not panic
+	s.AddInstr(0, 10)
+}
+
+func TestSliceSwapRange(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed)%20 + 4
+		half := n / 2
+		s := make([]int, 2*half)
+		for i := range s {
+			s[i] = i
+		}
+		Of(s).SwapRange(0, 0, half, half)
+		for i := 0; i < half; i++ {
+			if s[i] != half+i || s[half+i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowTranslatesIndices(t *testing.T) {
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	w := Window[int](Of(s), 2, 4) // covers s[2:6]
+	if w.Len() != 4 {
+		t.Fatal("window Len wrong")
+	}
+	if w.Get(0, 0) != 2 || w.Get(0, 3) != 5 {
+		t.Fatal("window Get wrong")
+	}
+	w.Swap(0, 0, 3)
+	if !reflect.DeepEqual(s, []int{0, 1, 5, 3, 4, 2, 6, 7}) {
+		t.Fatalf("window Swap wrong: %v", s)
+	}
+	w.SwapRange(0, 0, 2, 2)
+	if !reflect.DeepEqual(s, []int{0, 1, 4, 2, 5, 3, 6, 7}) {
+		t.Fatalf("window SwapRange wrong: %v", s)
+	}
+	w.Set(0, 1, 99)
+	if s[3] != 99 {
+		t.Fatal("window Set wrong")
+	}
+	w.BeginRound("x", 1)
+	w.AddInstr(0, 1)
+}
+
+func TestWindowBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range window")
+		}
+	}()
+	Window[int](Of([]int{1, 2, 3}), 2, 5)
+}

@@ -1,0 +1,40 @@
+// Package workload generates the inputs of the paper's evaluation:
+// sorted arrays of 64-bit keys and uniformly random query batches
+// (Section 6.0.1: "queries are randomly sampled from a uniform
+// distribution").
+package workload
+
+import "math/rand"
+
+// Sorted returns the n sorted keys 1, 3, 5, ..., 2n-1. Odd values make
+// every even value a guaranteed miss, which query generators exploit.
+func Sorted(n int) []uint64 {
+	s := make([]uint64, n)
+	Refill(s)
+	return s
+}
+
+// Refill rewrites s with the sorted key sequence in place, so timing
+// loops can reuse one allocation across trials.
+func Refill(s []uint64) {
+	for i := range s {
+		s[i] = uint64(2*i + 1)
+	}
+}
+
+// Queries returns q uniformly random queries against a key space of n
+// sorted odd keys. hitFrac of them (in expectation) are present keys; the
+// rest are guaranteed misses (even values in range).
+func Queries(q, n int, hitFrac float64, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, q)
+	for i := range out {
+		v := uint64(rng.Intn(n))
+		if rng.Float64() < hitFrac {
+			out[i] = 2*v + 1 // present
+		} else {
+			out[i] = 2 * v // absent
+		}
+	}
+	return out
+}

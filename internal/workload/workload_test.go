@@ -1,0 +1,54 @@
+package workload
+
+import "testing"
+
+func TestSortedShape(t *testing.T) {
+	s := Sorted(5)
+	want := []uint64{1, 3, 5, 7, 9}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("Sorted(5) = %v", s)
+		}
+	}
+}
+
+func TestRefillRestores(t *testing.T) {
+	s := Sorted(100)
+	s[3], s[50] = 0, 0
+	Refill(s)
+	for i, v := range s {
+		if v != uint64(2*i+1) {
+			t.Fatalf("Refill wrong at %d", i)
+		}
+	}
+}
+
+func TestQueriesHitFraction(t *testing.T) {
+	n, q := 10000, 50000
+	for _, frac := range []float64{0, 0.5, 1} {
+		qs := Queries(q, n, frac, 42)
+		hits := 0
+		for _, x := range qs {
+			if x >= uint64(2*n) {
+				t.Fatalf("query %d out of range", x)
+			}
+			if x%2 == 1 {
+				hits++
+			}
+		}
+		got := float64(hits) / float64(q)
+		if got < frac-0.02 || got > frac+0.02 {
+			t.Fatalf("hit fraction %.3f, want ~%.2f", got, frac)
+		}
+	}
+}
+
+func TestQueriesDeterministic(t *testing.T) {
+	a := Queries(100, 1000, 0.5, 7)
+	b := Queries(100, 1000, 0.5, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same queries")
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package layout
+
+// BSTLeft returns the position of the left child of the node at BST-layout
+// position i (0-indexed Eytzinger arithmetic).
+func BSTLeft(i int) int { return 2*i + 1 }
+
+// BSTRight returns the position of the right child of the node at
+// BST-layout position i.
+func BSTRight(i int) int { return 2*i + 2 }
+
+// BSTParent returns the position of the parent of the node at BST-layout
+// position i > 0.
+func BSTParent(i int) int { return (i - 1) / 2 }
+
+// bstRanks computes the in-order rank stored at every position of the BST
+// layout of a complete tree with n nodes, by an iterative in-order
+// traversal of the implicit tree (O(n) time, O(log n) space).
+func bstRanks(n int) []int {
+	ranks := make([]int, n)
+	stack := make([]int, 0, 64)
+	rank := 0
+	i := 0
+	for i < n || len(stack) > 0 {
+		for i < n {
+			stack = append(stack, i)
+			i = BSTLeft(i)
+		}
+		i = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ranks[i] = rank
+		rank++
+		i = BSTRight(i)
+	}
+	return ranks
+}
+
+// BSTPos returns the BST-layout position of the key with in-order rank
+// rank (0-based) in a complete tree of n nodes, in O(log n) time, by
+// descending from the root and maintaining the rank of the current
+// subtree's root.
+func BSTPos(rank, n int) int {
+	if rank < 0 || rank >= n {
+		panic("layout: BSTPos rank out of range")
+	}
+	pos := 0
+	lo, hi := 0, n // current subtree holds ranks [lo, hi)
+	for {
+		root := subtreeRootRank(lo, hi)
+		switch {
+		case rank == root:
+			return pos
+		case rank < root:
+			pos, hi = BSTLeft(pos), root
+		default:
+			pos, lo = BSTRight(pos), root+1
+		}
+	}
+}
+
+// subtreeRootRank returns the in-order rank of the root of the complete
+// subtree holding the contiguous rank interval [lo, hi).
+func subtreeRootRank(lo, hi int) int {
+	n := hi - lo
+	if n == 1 {
+		return lo
+	}
+	full, _ := PerfectPrefix(n, 2)
+	// A complete tree with n nodes: the full levels hold `full` nodes; the
+	// last level holds w = n - full nodes, filled left to right. The left
+	// subtree holds (full-1)/2 full nodes plus min(w, cap) last-level
+	// nodes, where cap = (full+1)/2 is the last-level capacity per side.
+	if full == n {
+		// perfect tree: root is the exact middle
+		return lo + n/2
+	}
+	w := n - full
+	capSide := (full + 1) / 2
+	leftSize := (full-1)/2 + min(w, capSide)
+	return lo + leftSize
+}

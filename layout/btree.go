@@ -1,0 +1,40 @@
+package layout
+
+// BTreeNode returns the node index (0-based, breadth-first) owning layout
+// position pos when each node holds b keys.
+func BTreeNode(pos, b int) int { return pos / b }
+
+// BTreeChild returns the node index of child c (0 <= c <= b) of node m in
+// a (b+1)-ary B-tree.
+func BTreeChild(m, c, b int) int { return m*(b+1) + 1 + c }
+
+// BTreeNodeStart returns the layout position of the first key of node m.
+func BTreeNodeStart(m, b int) int { return m * b }
+
+// btreeRanks computes the in-order rank stored at every position of the
+// level-order B-tree layout of a complete B-tree with n keys and b keys
+// per node. Nodes are filled breadth-first; every node is full except
+// possibly the last one. The traversal is recursive with O(log n) depth.
+func btreeRanks(n, b int) []int {
+	if b < 1 {
+		panic("layout: B-tree node capacity must be >= 1")
+	}
+	ranks := make([]int, n)
+	rank := 0
+	var visit func(m int)
+	visit = func(m int) {
+		start := BTreeNodeStart(m, b)
+		if start >= n {
+			return
+		}
+		keys := min(b, n-start)
+		for t := 0; t < keys; t++ {
+			visit(BTreeChild(m, t, b))
+			ranks[start+t] = rank
+			rank++
+		}
+		visit(BTreeChild(m, keys, b))
+	}
+	visit(0)
+	return ranks
+}

@@ -1,0 +1,102 @@
+// Package layout defines the three implicit search-tree memory layouts
+// studied in the paper — the level-order binary search tree (BST), the
+// level-order B-tree, and the van Emde Boas (vEB) layout — together with
+// the index arithmetic needed to navigate them and reference (out-of-place)
+// constructors that serve as correctness oracles for the in-place parallel
+// permutation algorithms in package perm.
+//
+// All trees are *complete*: every level except possibly the last is full
+// and the last level is filled left to right. A layout assigns each node of
+// the conceptual tree a position in a flat array; the in-order traversal of
+// the tree enumerates the stored keys in sorted order.
+package layout
+
+import "fmt"
+
+// Kind identifies one of the implicit search-tree layouts.
+type Kind int
+
+const (
+	// BST is the breadth-first (level-order, Eytzinger) layout of a
+	// complete binary search tree: node i has children 2i+1 and 2i+2.
+	BST Kind = iota
+	// BTree is the breadth-first layout of a complete (B+1)-ary B-tree:
+	// node m occupies positions [m*B, m*B+B) and has children
+	// m*(B+1)+1+c for c in [0, B].
+	BTree
+	// VEB is the van Emde Boas layout: the tree is split at the middle
+	// level into a top tree of ceil(L/2) levels followed by the layouts
+	// of its bottom subtrees, recursively (cache-oblivious).
+	VEB
+	// Sorted is the identity layout (plain sorted array, binary search).
+	Sorted
+)
+
+// String returns the conventional name of the layout.
+func (k Kind) String() string {
+	switch k {
+	case BST:
+		return "bst"
+	case BTree:
+		return "btree"
+	case VEB:
+		return "veb"
+	case Sorted:
+		return "sorted"
+	}
+	return fmt.Sprintf("layout.Kind(%d)", int(k))
+}
+
+// Kinds lists the three tree layouts (excluding Sorted).
+func Kinds() []Kind { return []Kind{BST, BTree, VEB} }
+
+// Ranks returns the rank table of the layout: r[pos] is the in-order rank
+// (0-based position in sorted order) of the key stored at array position
+// pos. b is the B-tree node capacity and is ignored by other layouts.
+// Ranks is the reference definition of each layout; the in-place
+// permutation algorithms are tested against it.
+func Ranks(k Kind, n, b int) []int {
+	switch k {
+	case BST:
+		return bstRanks(n)
+	case BTree:
+		return btreeRanks(n, b)
+	case VEB:
+		return vebRanks(n)
+	case Sorted:
+		r := make([]int, n)
+		for i := range r {
+			r[i] = i
+		}
+		return r
+	}
+	panic("layout: unknown kind")
+}
+
+// Build returns a new array holding sorted rearranged into layout k: the
+// out-of-place oracle construction. b is the B-tree node capacity.
+func Build[T any](k Kind, sorted []T, b int) []T {
+	ranks := Ranks(k, len(sorted), b)
+	out := make([]T, len(sorted))
+	for pos, rk := range ranks {
+		out[pos] = sorted[rk]
+	}
+	return out
+}
+
+// PerfectPrefix returns the largest I = k^h - 1 with I <= n, together with
+// h: the number of keys on the full levels of a complete search tree with
+// n keys and branching factor k (k = 2 for a BST, k = B+1 for a B-tree).
+func PerfectPrefix(n, k int) (full, h int) {
+	if n < 0 || k < 2 {
+		panic("layout: PerfectPrefix domain error")
+	}
+	full, h = 0, 0
+	next := k - 1
+	for next <= n {
+		full = next
+		h++
+		next = next*k + (k - 1)
+	}
+	return full, h
+}

@@ -1,0 +1,232 @@
+package layout
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func iota1(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i + 1
+	}
+	return s
+}
+
+// TestBSTFigure11 checks the BST layout against Figure 1.1 (N = 15).
+func TestBSTFigure11(t *testing.T) {
+	got := Build(BST, iota1(15), 0)
+	want := []int{8, 4, 12, 2, 6, 10, 14, 1, 3, 5, 7, 9, 11, 13, 15}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BST layout N=15:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestBTreeFigure12 checks the B-tree layout against Figure 1.2
+// (N = 26, B = 2).
+func TestBTreeFigure12(t *testing.T) {
+	got := Build(BTree, iota1(26), 2)
+	want := []int{
+		9, 18,
+		3, 6, 12, 15, 21, 24,
+		1, 2, 4, 5, 7, 8, 10, 11, 13, 14, 16, 17, 19, 20, 22, 23, 25, 26,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("B-tree layout N=26 B=2:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestVEBFigure13 checks the vEB layout against Figure 1.3 (N = 15).
+func TestVEBFigure13(t *testing.T) {
+	got := Build(VEB, iota1(15), 0)
+	want := []int{8, 4, 12, 2, 1, 3, 6, 5, 7, 10, 9, 11, 14, 13, 15}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("vEB layout N=15:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestRanksArePermutations verifies that every layout's rank table is a
+// permutation of 0..n-1 for a sweep of sizes, including non-perfect ones.
+func TestRanksArePermutations(t *testing.T) {
+	for n := 1; n <= 300; n++ {
+		for _, k := range Kinds() {
+			for _, b := range btreeBs(k) {
+				ranks := Ranks(k, n, b)
+				seen := make([]bool, n)
+				for _, r := range ranks {
+					if r < 0 || r >= n || seen[r] {
+						t.Fatalf("%v n=%d b=%d: rank table not a permutation: %v", k, n, b, ranks)
+					}
+					seen[r] = true
+				}
+			}
+		}
+	}
+}
+
+func btreeBs(k Kind) []int {
+	if k == BTree {
+		return []int{1, 2, 3, 4, 8}
+	}
+	return []int{0}
+}
+
+// TestBSTInOrderSorted verifies that walking any BST layout in-order
+// yields 0..n-1: the defining property of a search-tree layout.
+func TestBSTInOrderSorted(t *testing.T) {
+	for n := 1; n <= 200; n++ {
+		ranks := Ranks(BST, n, 0)
+		var walk func(i int, next *int)
+		walk = func(i int, next *int) {
+			if i >= n {
+				return
+			}
+			walk(BSTLeft(i), next)
+			if ranks[i] != *next {
+				t.Fatalf("n=%d: in-order visit of pos %d has rank %d, want %d", n, i, ranks[i], *next)
+			}
+			*next++
+			walk(BSTRight(i), next)
+		}
+		next := 0
+		walk(0, &next)
+		if next != n {
+			t.Fatalf("n=%d: in-order visited %d nodes", n, next)
+		}
+	}
+}
+
+// TestBSTPosInvertsRanks verifies BSTPos is the inverse of the rank table.
+func TestBSTPosInvertsRanks(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 10, 15, 100, 127, 128, 1000} {
+		ranks := Ranks(BST, n, 0)
+		for pos, rk := range ranks {
+			if got := BSTPos(rk, n); got != pos {
+				t.Fatalf("n=%d: BSTPos(%d) = %d, want %d", n, rk, got, pos)
+			}
+		}
+	}
+}
+
+// TestVEBNavMatchesRanks verifies that the navigator's position of every
+// conceptual tree node agrees with the rank table: the key at
+// Pos(depth, rank) must have the in-order rank that the complete BST
+// assigns to that node.
+func TestVEBNavMatchesRanks(t *testing.T) {
+	for n := 1; n <= 600; n++ {
+		vr := Ranks(VEB, n, 0)
+		br := Ranks(BST, n, 0) // br[bfs] = in-order rank of node bfs
+		nav := NewVEBNav(n)
+		for depth := 0; ; depth++ {
+			first := 1<<uint(depth) - 1
+			if first >= n {
+				break
+			}
+			for rank := 0; rank < 1<<uint(depth) && first+rank < n; rank++ {
+				pos := nav.Pos(depth, rank)
+				if vr[pos] != br[first+rank] {
+					t.Fatalf("n=%d node(d=%d,r=%d): vEB pos %d holds rank %d, want %d",
+						n, depth, rank, pos, vr[pos], br[first+rank])
+				}
+			}
+		}
+	}
+}
+
+// TestVEBSplitMatchesPaper checks the split sizes quoted in Section 3.1.
+func TestVEBSplitMatchesPaper(t *testing.T) {
+	for x := 1; x <= 8; x++ {
+		// N = 2^(2x) - 1: r = l = 2^x - 1.
+		lt, lb := VEBSplit(2 * x)
+		if r, l := 1<<uint(lt)-1, 1<<uint(lb)-1; r != 1<<uint(x)-1 || l != 1<<uint(x)-1 {
+			t.Fatalf("L=%d: r=%d l=%d, want both %d", 2*x, r, l, 1<<uint(x)-1)
+		}
+		if 2*x-1 >= 1 {
+			// N = 2^(2x-1) - 1: r = 2^x - 1, l = 2^(x-1) - 1.
+			lt, lb = VEBSplit(2*x - 1)
+			if r, l := 1<<uint(lt)-1, 1<<uint(lb)-1; r != 1<<uint(x)-1 || l != 1<<uint(x-1)-1 {
+				t.Fatalf("L=%d: r=%d l=%d, want %d and %d", 2*x-1, r, l, 1<<uint(x)-1, 1<<uint(x-1)-1)
+			}
+		}
+	}
+}
+
+// TestPerfectPrefix checks the full-level arithmetic for several branching
+// factors.
+func TestPerfectPrefix(t *testing.T) {
+	cases := []struct{ n, k, full, h int }{
+		{0, 2, 0, 0}, {1, 2, 1, 1}, {2, 2, 1, 1}, {3, 2, 3, 2},
+		{6, 2, 3, 2}, {7, 2, 7, 3}, {8, 2, 7, 3},
+		{26, 3, 26, 3}, {25, 3, 8, 2}, {80, 3, 80, 4},
+		{9, 9, 8, 1}, {500000000, 2, 1<<28 - 1, 28},
+	}
+	for _, c := range cases {
+		full, h := PerfectPrefix(c.n, c.k)
+		if full != c.full || h != c.h {
+			t.Errorf("PerfectPrefix(%d, %d) = (%d, %d), want (%d, %d)", c.n, c.k, full, h, c.full, c.h)
+		}
+	}
+}
+
+// TestBuildSortedIdentity checks the Sorted kind is the identity.
+func TestBuildSortedIdentity(t *testing.T) {
+	in := iota1(37)
+	if got := Build(Sorted, in, 0); !reflect.DeepEqual(got, in) {
+		t.Fatalf("Sorted layout is not the identity: %v", got)
+	}
+}
+
+// TestVEBNavExists is a property test: Exists agrees with the BFS bound.
+func TestVEBNavExists(t *testing.T) {
+	f := func(nRaw uint16, d uint8, rk uint16) bool {
+		n := int(nRaw)%1000 + 1
+		depth := int(d) % 12
+		rank := int(rk) % (1 << uint(depth))
+		nav := NewVEBNav(n)
+		want := (1<<uint(depth)-1)+rank < n
+		return nav.Exists(depth, rank) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVEBCursorMatchesPos: descending through every root-to-leaf path with
+// the incremental cursor visits exactly the positions VEBNav.Pos computes.
+func TestVEBCursorMatchesPos(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 15, 16, 26, 63, 100, 255, 256, 1000, 4097} {
+		nav := NewVEBNav(n)
+		var walk func(cur VEBCursor, depth, rank int)
+		walk = func(cur VEBCursor, depth, rank int) {
+			want := nav.Pos(depth, rank)
+			if got := cur.Pos(); got != want {
+				t.Fatalf("n=%d node(d=%d,r=%d): cursor pos %d, want %d", n, depth, rank, got, want)
+			}
+			for dir := 0; dir <= 1; dir++ {
+				child := cur
+				exists := nav.Exists(depth+1, 2*rank+dir)
+				if child.Descend(dir) != exists {
+					t.Fatalf("n=%d node(d=%d,r=%d): Descend(%d) existence mismatch", n, depth, rank, dir)
+				}
+				if exists {
+					walk(child, depth+1, 2*rank+dir)
+				}
+			}
+		}
+		walk(nav.Cursor(), 0, 0)
+	}
+}
+
+// TestVEBCursorReset: a reused cursor returns to the root.
+func TestVEBCursorReset(t *testing.T) {
+	nav := NewVEBNav(1000)
+	cur := nav.Cursor()
+	root := cur.Pos()
+	cur.Descend(1)
+	cur.Descend(0)
+	cur.Reset()
+	if cur.Pos() != root {
+		t.Fatal("Reset did not return to root")
+	}
+}

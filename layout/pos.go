@@ -1,0 +1,97 @@
+package layout
+
+// PosOf returns the array position, under layout k, of the key with
+// in-order rank `rank` (0-based) in a complete tree of n keys with B-tree
+// node capacity b. It is the forward permutation pi of the paper: sorted
+// index -> layout index, computable in O(log n) (plus O(log log n) factors
+// for vEB) without materializing the rank table.
+func PosOf(k Kind, rank, n, b int) int {
+	if rank < 0 || rank >= n {
+		panic("layout: PosOf rank out of range")
+	}
+	switch k {
+	case Sorted:
+		return rank
+	case BST:
+		return BSTPos(rank, n)
+	case BTree:
+		return BTreePos(rank, n, b)
+	case VEB:
+		return VEBPos(rank, n)
+	}
+	panic("layout: unknown kind")
+}
+
+// BTreePos returns the B-tree layout position of in-order rank `rank` by
+// descending the node tree and maintaining the rank interval owned by the
+// current subtree.
+func BTreePos(rank, n, b int) int {
+	node := 0
+	lo, hi := 0, n // ranks owned by the subtree rooted at node
+	for {
+		start := BTreeNodeStart(node, b)
+		keys := min(b, n-start)
+		// Subtree children sizes follow from the complete-tree shape:
+		// walk this node's keys and child subtrees in order.
+		cur := lo
+		for t := 0; t < keys; t++ {
+			cs := btreeSubtreeSize(BTreeChild(node, t, b), n, b)
+			if rank < cur+cs {
+				node = BTreeChild(node, t, b)
+				lo, hi = cur, cur+cs
+				goto descend
+			}
+			cur += cs
+			if rank == cur {
+				return start + t
+			}
+			cur++
+		}
+		// rank falls in the last child.
+		node = BTreeChild(node, keys, b)
+		lo = cur
+		_ = hi
+	descend:
+	}
+}
+
+// btreeSubtreeSize returns the number of keys stored in the subtree rooted
+// at the given node of a complete B-tree with n keys, in O(log n) time:
+// per level, the subtree owns a contiguous node interval whose key count
+// follows from the BFS numbering.
+func btreeSubtreeSize(node int, n, b int) int {
+	total := 0
+	first, count := node, 1
+	for first*b < n {
+		start := first * b
+		end := min((first+count)*b, n)
+		if end > start {
+			total += end - start
+		}
+		first = first*(b+1) + 1
+		count *= b + 1
+	}
+	return total
+}
+
+// VEBPos returns the vEB layout position of in-order rank `rank`: it
+// first locates the conceptual tree node holding that rank (as in a BST)
+// and then converts it through the navigator.
+func VEBPos(rank, n int) int {
+	// Descend the conceptual complete BST exactly like BSTPos, tracking
+	// (depth, nodeRank).
+	depth, nodeRank := 0, 0
+	lo, hi := 0, n
+	nav := NewVEBNav(n)
+	for {
+		root := subtreeRootRank(lo, hi)
+		switch {
+		case rank == root:
+			return nav.Pos(depth, nodeRank)
+		case rank < root:
+			depth, nodeRank, hi = depth+1, 2*nodeRank, root
+		default:
+			depth, nodeRank, lo = depth+1, 2*nodeRank+1, root+1
+		}
+	}
+}

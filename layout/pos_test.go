@@ -1,0 +1,39 @@
+package layout
+
+import "testing"
+
+// TestPosOfInvertsRanks: PosOf agrees with the rank table on every layout
+// for a dense sweep of sizes — the forward permutation is exact.
+func TestPosOfInvertsRanks(t *testing.T) {
+	const b = 3
+	for n := 1; n <= 400; n++ {
+		for _, k := range append(Kinds(), Sorted) {
+			ranks := Ranks(k, n, b)
+			for pos, rk := range ranks {
+				if got := PosOf(k, rk, n, b); got != pos {
+					t.Fatalf("%v n=%d: PosOf(rank=%d) = %d, want %d", k, n, rk, got, pos)
+				}
+			}
+		}
+	}
+}
+
+// TestBTreeSubtreeSizes: subtree sizes sum correctly at the root.
+func TestBTreeSubtreeSizes(t *testing.T) {
+	for _, b := range []int{1, 2, 4} {
+		for n := 1; n <= 300; n++ {
+			if got := btreeSubtreeSize(0, n, b); got != n {
+				t.Fatalf("b=%d n=%d: root subtree size %d", b, n, got)
+			}
+		}
+	}
+}
+
+func TestPosOfPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PosOf(BST, 5, 5, 0)
+}

@@ -1,0 +1,43 @@
+package search_test
+
+import (
+	"fmt"
+
+	"implicitlayout/layout"
+	"implicitlayout/perm"
+	"implicitlayout/search"
+)
+
+// An Index bundles a permuted array with its query routines.
+func ExampleIndex() {
+	keys := []uint64{10, 20, 30, 40, 50, 60, 70}
+	perm.Permute(keys, layout.BTree, perm.CycleLeader, perm.WithB(2))
+	ix := search.NewIndex(keys, layout.BTree, 2)
+
+	fmt.Println("contains 30:", ix.Contains(30))
+	fmt.Println("contains 35:", ix.Contains(35))
+	if pos := ix.Predecessor(35); pos >= 0 {
+		fmt.Println("predecessor of 35:", keys[pos])
+	}
+	// Output:
+	// contains 30: true
+	// contains 35: false
+	// predecessor of 35: 30
+}
+
+// Range enumerates keys in sorted order even though the array is stored
+// in a tree layout.
+func ExampleIndex_Range() {
+	keys := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	perm.Permute(keys, layout.VEB, perm.CycleLeader)
+	ix := search.NewIndex(keys, layout.VEB, 0)
+
+	var got []uint64
+	ix.Range(5, 9, func(pos int, key uint64) bool {
+		got = append(got, key)
+		return true
+	})
+	fmt.Println(got)
+	// Output:
+	// [5 6 7 8 9]
+}

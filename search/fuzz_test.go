@@ -1,0 +1,43 @@
+package search
+
+import (
+	"testing"
+
+	"implicitlayout/layout"
+)
+
+// FuzzSearchConsistency checks, from fuzzed sizes and queries, that every
+// layout's Find/Predecessor/Successor agree with binary search on the
+// sorted array.
+func FuzzSearchConsistency(f *testing.F) {
+	f.Add(uint16(1), uint32(0), uint8(1))
+	f.Add(uint16(100), uint32(55), uint8(4))
+	f.Add(uint16(4095), uint32(9999), uint8(8))
+	f.Add(uint16(513), uint32(1), uint8(31))
+	f.Fuzz(func(t *testing.T, nRaw uint16, qRaw uint32, bRaw uint8) {
+		n := int(nRaw)%4000 + 1
+		b := int(bRaw)%32 + 1
+		q := uint64(qRaw) % uint64(2*n+4)
+		sorted := oddKeys(n)
+		wantFind := Binary(sorted, q) >= 0
+		wantPred := PredecessorBinary(sorted, q)
+		wantSucc := successorBinary(sorted, q)
+		for _, k := range layout.Kinds() {
+			arr := layout.Build(k, sorted, b)
+			ix := NewIndex(arr, k, b)
+			if got := ix.Find(q); (got >= 0) != wantFind || (got >= 0 && arr[got] != q) {
+				t.Fatalf("%v n=%d b=%d: Find(%d) inconsistent", k, n, b, q)
+			}
+			p := ix.Predecessor(q)
+			switch {
+			case wantPred < 0 && p >= 0, wantPred >= 0 && (p < 0 || arr[p] != sorted[wantPred]):
+				t.Fatalf("%v n=%d b=%d: Predecessor(%d) inconsistent", k, n, b, q)
+			}
+			s := ix.Successor(q)
+			switch {
+			case wantSucc < 0 && s >= 0, wantSucc >= 0 && (s < 0 || arr[s] != sorted[wantSucc]):
+				t.Fatalf("%v n=%d b=%d: Successor(%d) inconsistent", k, n, b, q)
+			}
+		}
+	})
+}

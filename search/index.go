@@ -1,0 +1,98 @@
+package search
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+
+	"implicitlayout/layout"
+)
+
+// Index bundles a laid-out array with the query routine matching its
+// layout, giving the layouts a common interface for examples, benchmarks
+// and applications.
+type Index[T cmp.Ordered] struct {
+	data []T
+	kind layout.Kind
+	b    int
+}
+
+// NewIndex wraps data, already permuted into layout k (with node capacity
+// b for B-tree layouts), in a queryable index. It does not copy data.
+func NewIndex[T cmp.Ordered](data []T, k layout.Kind, b int) *Index[T] {
+	if k == layout.BTree && b < 1 {
+		panic("search: B-tree index requires b >= 1")
+	}
+	return &Index[T]{data: data, kind: k, b: b}
+}
+
+// Len returns the number of keys.
+func (ix *Index[T]) Len() int { return len(ix.data) }
+
+// Kind returns the layout the index queries.
+func (ix *Index[T]) Kind() layout.Kind { return ix.kind }
+
+// Find returns the array position of x, or -1 if absent.
+func (ix *Index[T]) Find(x T) int {
+	switch ix.kind {
+	case layout.Sorted:
+		return Binary(ix.data, x)
+	case layout.BST:
+		return BST(ix.data, x)
+	case layout.BTree:
+		return BTree(ix.data, ix.b, x)
+	case layout.VEB:
+		return VEB(ix.data, x)
+	}
+	panic(fmt.Sprintf("search: unknown layout %v", ix.kind))
+}
+
+// Contains reports whether x is present.
+func (ix *Index[T]) Contains(x T) bool { return ix.Find(x) >= 0 }
+
+// FindBatch answers all queries with p parallel workers (values below 1
+// fall back to serial) and returns the number of hits. Queries are
+// independent — the embarrassingly parallel workload of the paper's
+// evaluation, where each GPU thread owns one query.
+func (ix *Index[T]) FindBatch(queries []T, p int) (hits int) {
+	if p < 1 {
+		p = 1
+	}
+	if p == 1 || len(queries) < 2*p {
+		for _, q := range queries {
+			if ix.Find(q) >= 0 {
+				hits++
+			}
+		}
+		return hits
+	}
+	var wg sync.WaitGroup
+	partial := make([]int, p)
+	chunk := (len(queries) + p - 1) / p
+	for w := 0; w < p; w++ {
+		lo := w * chunk
+		if lo >= len(queries) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(queries) {
+			hi = len(queries)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			h := 0
+			for _, q := range queries[lo:hi] {
+				if ix.Find(q) >= 0 {
+					h++
+				}
+			}
+			partial[w] = h
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, h := range partial {
+		hits += h
+	}
+	return hits
+}

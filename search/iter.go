@@ -1,0 +1,200 @@
+package search
+
+import (
+	"cmp"
+
+	"implicitlayout/layout"
+)
+
+// Successor returns the position of the smallest key >= x under the
+// index's layout, or -1 if every key is below x.
+func (ix *Index[T]) Successor(x T) int {
+	switch ix.kind {
+	case layout.Sorted:
+		return successorBinary(ix.data, x)
+	case layout.BST:
+		return successorTree(ix.data, x, func(pos int) (int, int) {
+			return 2*pos + 1, 2*pos + 2
+		}, len(ix.data))
+	case layout.BTree:
+		return successorBTree(ix.data, ix.b, x)
+	case layout.VEB:
+		return successorVEB(ix.data, x)
+	}
+	return -1
+}
+
+func successorBinary[T cmp.Ordered](a []T, x T) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(a) {
+		return -1
+	}
+	return lo
+}
+
+// successorTree descends a binary layout tracking the last key >= x.
+func successorTree[T cmp.Ordered](a []T, x T, children func(pos int) (int, int), n int) int {
+	pos, cand := 0, -1
+	for pos < n {
+		l, r := children(pos)
+		if a[pos] >= x {
+			cand = pos
+			pos = l
+		} else {
+			pos = r
+		}
+	}
+	return cand
+}
+
+func successorBTree[T cmp.Ordered](a []T, b int, x T) int {
+	n := len(a)
+	node, cand := 0, -1
+	for {
+		start := node * b
+		if start >= n {
+			return cand
+		}
+		end := min(start+b, n)
+		c := start
+		for c < end && a[c] < x {
+			c++
+		}
+		if c < end {
+			cand = c
+		}
+		node = node*(b+1) + 1 + (c - start)
+	}
+}
+
+func successorVEB[T cmp.Ordered](a []T, x T) int {
+	n := len(a)
+	if n == 0 {
+		return -1
+	}
+	cur := layout.NewVEBNav(n).Cursor()
+	cand := -1
+	for {
+		pos := cur.Pos()
+		dir := 1
+		if a[pos] >= x {
+			cand = pos
+			dir = 0
+		}
+		if !cur.Descend(dir) {
+			return cand
+		}
+	}
+}
+
+// Range calls yield for every key in [lo, hi], in ascending order,
+// stopping early if yield returns false. It works on every layout by
+// walking the conceptual tree in order: O(k + log N) node visits for k
+// reported keys.
+func (ix *Index[T]) Range(lo, hi T, yield func(pos int, key T) bool) {
+	if hi < lo || len(ix.data) == 0 {
+		return
+	}
+	switch ix.kind {
+	case layout.Sorted:
+		start := successorBinary(ix.data, lo)
+		if start < 0 {
+			return
+		}
+		for pos := start; pos < len(ix.data) && ix.data[pos] <= hi; pos++ {
+			if !yield(pos, ix.data[pos]) {
+				return
+			}
+		}
+	case layout.BTree:
+		ix.rangeBTree(0, lo, hi, &yieldState[T]{yield: yield})
+	default:
+		ix.rangeTree(0, 0, lo, hi, &yieldState[T]{yield: yield})
+	}
+}
+
+type yieldState[T any] struct {
+	yield func(pos int, key T) bool
+	done  bool
+}
+
+// rangeTree walks the conceptual complete BST under (depth, rank) in
+// order, pruning subtrees outside [lo, hi].
+func (ix *Index[T]) rangeTree(depth, rank int, lo, hi T, st *yieldState[T]) {
+	if st.done {
+		return
+	}
+	bfs := (1 << uint(depth)) - 1 + rank
+	if bfs >= len(ix.data) {
+		return
+	}
+	pos := ix.posOf(depth, rank)
+	key := ix.data[pos]
+	if key > lo {
+		ix.rangeTree(depth+1, 2*rank, lo, hi, st)
+	}
+	if st.done {
+		return
+	}
+	if key >= lo && key <= hi {
+		if !st.yield(pos, key) {
+			st.done = true
+			return
+		}
+	}
+	if key < hi {
+		ix.rangeTree(depth+1, 2*rank+1, lo, hi, st)
+	}
+}
+
+// posOf maps a conceptual tree node to its array position in this layout.
+func (ix *Index[T]) posOf(depth, rank int) int {
+	switch ix.kind {
+	case layout.BST:
+		return (1 << uint(depth)) - 1 + rank
+	case layout.VEB:
+		return layout.NewVEBNav(len(ix.data)).Pos(depth, rank)
+	case layout.BTree:
+		// The conceptual binary tree of a B-tree layout is not the node
+		// tree; map through in-order ranks instead.
+		panic("unreachable: B-tree ranges use rangeBTree")
+	}
+	panic("search: posOf on sorted layout")
+}
+
+// rangeBTree walks the multi-way node tree in order.
+func (ix *Index[T]) rangeBTree(node int, lo, hi T, st *yieldState[T]) {
+	n := len(ix.data)
+	start := node * ix.b
+	if start >= n || st.done {
+		return
+	}
+	end := min(start+ix.b, n)
+	for c := start; c < end; c++ {
+		key := ix.data[c]
+		if key > lo {
+			ix.rangeBTree(node*(ix.b+1)+1+(c-start), lo, hi, st)
+			if st.done {
+				return
+			}
+		}
+		if key >= lo && key <= hi {
+			if !st.yield(c, key) {
+				st.done = true
+				return
+			}
+		}
+		if key > hi {
+			return
+		}
+	}
+	ix.rangeBTree(node*(ix.b+1)+1+ix.b, lo, hi, st)
+}

@@ -1,0 +1,95 @@
+package search
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"implicitlayout/layout"
+)
+
+// TestSuccessorAgainstBinary: every layout's successor equals the sorted
+// answer by value.
+func TestSuccessorAgainstBinary(t *testing.T) {
+	const b = 3
+	for _, n := range []int{1, 2, 7, 26, 100, 513} {
+		sorted := oddKeys(n)
+		for kind, arr := range buildAll(n, b) {
+			ix := NewIndex(arr, kind, b)
+			for q := uint64(0); q <= uint64(2*n+2); q++ {
+				want := successorBinary(sorted, q)
+				got := ix.Successor(q)
+				switch {
+				case want == -1 && got != -1:
+					t.Fatalf("%v n=%d q=%d: got %d, want -1", kind, n, q, got)
+				case want >= 0 && (got < 0 || arr[got] != sorted[want]):
+					t.Fatalf("%v n=%d q=%d: successor mismatch", kind, n, q)
+				}
+			}
+		}
+	}
+}
+
+// TestRangeEnumeratesInOrder: Range yields exactly the keys of [lo, hi] in
+// ascending order on every layout.
+func TestRangeEnumeratesInOrder(t *testing.T) {
+	const b = 4
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 5, 26, 100, 511, 1000} {
+		sorted := oddKeys(n)
+		for kind, arr := range buildAll(n, b) {
+			ix := NewIndex(arr, kind, b)
+			for trial := 0; trial < 20; trial++ {
+				lo := uint64(rng.Intn(2*n + 2))
+				hi := lo + uint64(rng.Intn(2*n+2))
+				var want []uint64
+				for _, k := range sorted {
+					if k >= lo && k <= hi {
+						want = append(want, k)
+					}
+				}
+				var got []uint64
+				ix.Range(lo, hi, func(pos int, key uint64) bool {
+					if arr[pos] != key {
+						t.Fatalf("%v: yielded pos %d does not hold %d", kind, pos, key)
+					}
+					got = append(got, key)
+					return true
+				})
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v n=%d [%d,%d]:\n got %v\nwant %v", kind, n, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRangeEarlyStop: yield returning false stops the scan.
+func TestRangeEarlyStop(t *testing.T) {
+	n := 1000
+	sorted := oddKeys(n)
+	for kind, arr := range buildAll(n, 4) {
+		ix := NewIndex(arr, kind, 4)
+		count := 0
+		ix.Range(0, uint64(2*n), func(int, uint64) bool {
+			count++
+			return count < 5
+		})
+		if count != 5 {
+			t.Fatalf("%v: early stop yielded %d keys, want 5", kind, count)
+		}
+	}
+	_ = sorted
+}
+
+// TestRangeEmptyInterval: inverted or out-of-range intervals yield nothing.
+func TestRangeEmptyInterval(t *testing.T) {
+	arr := layout.Build(layout.VEB, oddKeys(100), 0)
+	ix := NewIndex(arr, layout.VEB, 0)
+	calls := 0
+	ix.Range(50, 10, func(int, uint64) bool { calls++; return true })
+	ix.Range(1000, 2000, func(int, uint64) bool { calls++; return true })
+	if calls != 0 {
+		t.Fatalf("expected no yields, got %d", calls)
+	}
+}

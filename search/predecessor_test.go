@@ -1,0 +1,67 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"implicitlayout/layout"
+)
+
+// TestPredecessorAgainstBinary: every layout's predecessor equals the
+// sorted-array answer (compared by value), across sizes and queries.
+func TestPredecessorAgainstBinary(t *testing.T) {
+	const b = 4
+	for _, n := range []int{1, 2, 3, 7, 26, 100, 511, 1000} {
+		sorted := oddKeys(n)
+		arrs := buildAll(n, b)
+		for q := uint64(0); q <= uint64(2*n+2); q++ {
+			want := PredecessorBinary(sorted, q)
+			for kind, arr := range arrs {
+				ix := NewIndex(arr, kind, b)
+				got := ix.Predecessor(q)
+				switch {
+				case want == -1 && got != -1:
+					t.Fatalf("%v n=%d q=%d: got pos %d, want -1", kind, n, q, got)
+				case want >= 0 && (got < 0 || arr[got] != sorted[want]):
+					t.Fatalf("%v n=%d q=%d: predecessor value mismatch", kind, n, q)
+				}
+			}
+		}
+	}
+}
+
+// TestPredecessorProperties: quick-check the defining property on random
+// sizes: the result key is <= x and the successor key (if any) is > x.
+func TestPredecessorProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(qRaw uint32) bool {
+		n := rng.Intn(2000) + 1
+		x := uint64(qRaw) % uint64(2*n+2)
+		sorted := oddKeys(n)
+		for _, kind := range layout.Kinds() {
+			arr := layout.Build(kind, sorted, 4)
+			ix := NewIndex(arr, kind, 4)
+			pos := ix.Predecessor(x)
+			if pos == -1 {
+				if sorted[0] <= x {
+					return false
+				}
+				continue
+			}
+			v := arr[pos]
+			if v > x {
+				return false
+			}
+			// successor in sorted order must exceed x
+			si := PredecessorBinary(sorted, x) + 1
+			if si < n && sorted[si] <= x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
