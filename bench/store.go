@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"implicitlayout/internal/workload"
+	"implicitlayout/layout"
+	"implicitlayout/store"
+)
+
+// StoreConfig parameterizes the sharded-store serving benchmark: the
+// cross product of layouts, shard counts, and query worker counts over
+// one key set.
+type StoreConfig struct {
+	// LogN is the key count exponent (2^LogN keys).
+	LogN int
+	// Q is the number of queries per measurement.
+	Q int
+	// B is the B-tree node capacity.
+	B int
+	// HitFrac is the expected fraction of present-key queries.
+	HitFrac float64
+	// Layouts, Shards, and Workers span the measured grid.
+	Layouts []layout.Kind
+	Shards  []int
+	Workers []int
+	// Trials is the number of timed repetitions per cell.
+	Trials int
+	// Seed drives the key shuffle and the query generator.
+	Seed int64
+}
+
+// StoreThroughput measures the store serving layer: build time of the
+// parallel pipeline (sort + partition + concurrent permute) and GetBatch
+// query throughput, for every layout x shard count x worker count. The
+// busiest-shard column reports per-shard throughput under the fence
+// router's near-uniform query spread.
+func StoreThroughput(c StoreConfig) *Table {
+	n := 1 << c.LogN
+	keys := workload.Sorted(n)
+	rand.New(rand.NewSource(c.Seed)).Shuffle(n, func(i, j int) {
+		keys[i], keys[j] = keys[j], keys[i]
+	})
+	queries := workload.Queries(c.Q, n, c.HitFrac, c.Seed+1)
+
+	t := &Table{
+		Title: fmt.Sprintf("store: serving throughput, N=2^%d, %d queries", c.LogN, c.Q),
+		Note: fmt.Sprintf("build = parallel sort + range partition + concurrent permute; "+
+			"hitfrac=%.2f b=%d trials=%d", c.HitFrac, c.B, c.Trials),
+		Header: []string{"layout", "shards", "workers", "build_s", "Mq/s", "ns/query",
+			"busiest_shard_q/s", "hit%"},
+	}
+	for _, kind := range c.Layouts {
+		for _, shards := range c.Shards {
+			var st *store.Store[uint64]
+			var err error
+			build := timeIt(c.Trials, func() {}, func() {
+				st, err = store.Build(keys,
+					store.WithLayout(kind), store.WithShards(shards), store.WithB(c.B))
+			})
+			if err != nil {
+				t.AddRow(kind.String(), fmt.Sprint(shards), "-", "build failed: "+err.Error(),
+					"-", "-", "-", "-")
+				continue
+			}
+			for _, p := range c.Workers {
+				var stats store.BatchStats
+				d := timeIt(c.Trials, func() {}, func() {
+					stats = st.GetBatch(queries, p)
+				})
+				busiest := 0
+				for _, sh := range stats.Shards {
+					busiest = max(busiest, sh.Queries)
+				}
+				qps := float64(c.Q) / d.Seconds()
+				t.AddRow(
+					kind.String(),
+					fmt.Sprint(st.Shards()),
+					fmt.Sprint(p),
+					secs(build),
+					fmt.Sprintf("%.2f", qps/1e6),
+					fmt.Sprintf("%.0f", float64(d.Nanoseconds())/float64(c.Q)),
+					fmt.Sprintf("%.3g", float64(busiest)/d.Seconds()),
+					fmt.Sprintf("%.1f", 100*float64(stats.Hits)/float64(stats.Queries)),
+				)
+			}
+		}
+	}
+	return t
+}

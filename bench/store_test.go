@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"implicitlayout/layout"
+)
+
+// TestStoreThroughputSmoke runs the serving benchmark at tiny scale and
+// checks the table covers the full grid with sane hit rates.
+func TestStoreThroughputSmoke(t *testing.T) {
+	tb := StoreThroughput(StoreConfig{
+		LogN: 12, Q: 2000, B: 8, HitFrac: 0.5,
+		Layouts: []layout.Kind{layout.VEB, layout.BTree},
+		Shards:  []int{1, 4},
+		Workers: []int{1, 4},
+		Trials:  1, Seed: 1,
+	})
+	if got, want := len(tb.Rows), 2*2*2; got != want {
+		t.Fatalf("rows = %d, want %d", got, want)
+	}
+	for _, r := range tb.Rows {
+		if strings.Contains(r[3], "failed") {
+			t.Fatalf("build failed row: %v", r)
+		}
+		hit, err := strconv.ParseFloat(r[len(r)-1], 64)
+		if err != nil || hit < 30 || hit > 70 {
+			t.Fatalf("hit%% %s implausible for hitfrac 0.5: %v", r[len(r)-1], r)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command storebench measures the sharded store serving layer: parallel
+// build-pipeline time and GetBatch query throughput (aggregate and
+// busiest-shard) across the grid of layouts, shard counts, and query
+// worker counts.
+//
+// Example:
+//
+//	storebench -logn 22 -q 1000000 -shards 1,4,16 -workers 1,8 -layouts veb,btree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"implicitlayout/bench"
+	"implicitlayout/layout"
+)
+
+func main() {
+	logN := flag.Int("logn", 22, "key count exponent (2^logn keys)")
+	q := flag.Int("q", 1_000_000, "queries per measurement")
+	b := flag.Int("b", 8, "B-tree node capacity")
+	hitFrac := flag.Float64("hitfrac", 0.5, "expected fraction of present-key queries")
+	shards := flag.String("shards", "1,4,16", "comma-separated shard counts")
+	workers := flag.String("workers", "1,4,8", "comma-separated query worker counts")
+	layouts := flag.String("layouts", "veb,btree,bst,sorted", "comma-separated layouts")
+	trials := flag.Int("trials", 3, "timed repetitions per cell")
+	seed := flag.Int64("seed", 1, "key shuffle and query generator seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	t := bench.StoreThroughput(bench.StoreConfig{
+		LogN: *logN, Q: *q, B: *b, HitFrac: *hitFrac,
+		Layouts: parseLayouts(*layouts),
+		Shards:  parseInts(*shards),
+		Workers: parseInts(*workers),
+		Trials:  *trials, Seed: *seed,
+	})
+	if *csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Fprint(os.Stdout)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			fatalf("bad count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func parseLayouts(s string) []layout.Kind {
+	var out []layout.Kind
+	for _, f := range strings.Split(s, ",") {
+		switch strings.TrimSpace(f) {
+		case "bst":
+			out = append(out, layout.BST)
+		case "btree":
+			out = append(out, layout.BTree)
+		case "veb":
+			out = append(out, layout.VEB)
+		case "sorted":
+			out = append(out, layout.Sorted)
+		default:
+			fatalf("unknown layout %q (want bst, btree, veb, or sorted)", f)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "storebench: "+format+"\n", args...)
+	os.Exit(2)
+}

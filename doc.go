@@ -11,8 +11,11 @@
 //   - layout: layout definitions, index arithmetic, reference builders;
 //   - perm:   the in-place parallel permutations (the paper's contribution);
 //   - search: queries (exact and predecessor) on every layout;
-//   - bench:  experiment runners for the paper's tables and figures.
+//   - store:  sharded static index store — parallel build pipeline (sort,
+//     range partition, concurrent permute) plus a concurrent, batched
+//     query engine with snapshot semantics;
+//   - bench:  experiment runners for the paper's tables and figures and
+//     the store serving benchmarks.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-versus-measured results.
+// See README.md for a tour and quickstart.
 package implicitlayout

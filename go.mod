@@ -1,0 +1,3 @@
+module implicitlayout
+
+go 1.24

@@ -161,7 +161,14 @@ func (r Runner) Tasks(m int, task func(i int, sub Runner)) {
 			task(i, Serial(r.Lo))
 		}
 	case m >= p:
-		r.For(m, func(w, lo, hi int) {
+		// Tasks are coarse-grained by definition — each one is at least a
+		// whole task body, not one loop iteration — so the element-grained
+		// MinFor cutoff must not serialize the dispatch: a runner fresh
+		// from New would otherwise run any m < DefaultMinFor tasks inline
+		// on one worker.
+		rt := r
+		rt.MinFor = 1
+		rt.For(m, func(w, lo, hi int) {
 			sub := Serial(w)
 			for i := lo; i < hi; i++ {
 				task(i, sub)

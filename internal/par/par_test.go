@@ -151,6 +151,23 @@ func TestTasksSplitRunnersDisjoint(t *testing.T) {
 	}
 }
 
+// TestTasksDispatchIgnoresMinFor: with m >= P, a default runner (MinFor
+// unset) still spreads tasks across the whole worker range — the
+// element-grained MinFor cutoff must not serialize task dispatch.
+func TestTasksDispatchIgnoresMinFor(t *testing.T) {
+	r := New(4)
+	var mu sync.Mutex
+	ids := map[int]bool{}
+	r.Tasks(8, func(i int, sub Runner) {
+		mu.Lock()
+		ids[sub.Lo] = true
+		mu.Unlock()
+	})
+	if len(ids) != 4 {
+		t.Fatalf("8 tasks on 4 default workers used %d worker ids, want 4", len(ids))
+	}
+}
+
 func TestDoRunsAll(t *testing.T) {
 	r := New(4)
 	var a, b int32

@@ -95,14 +95,13 @@ func WithTransposedGather() Option { return func(c *config) { c.transposed = tru
 func WithBatchedGather(batch int) Option { return func(c *config) { c.gatherBatch = batch } }
 
 func (c config) options() core.Options {
+	// par.New already maps workers < 1 to runtime.GOMAXPROCS(0), so the
+	// runner is built exactly once.
 	o := core.Options{
-		Runner:           par.New(max(c.workers, 1)),
+		Runner:           par.New(c.workers),
 		B:                c.b,
 		TransposedGather: c.transposed,
 		GatherBatch:      c.gatherBatch,
-	}
-	if c.workers < 1 {
-		o.Runner = par.New(0)
 	}
 	if c.softwareRev {
 		o.Rev = bits.Software{}
@@ -128,6 +127,13 @@ func Permute[T any](data []T, k layout.Kind, a Algorithm, opts ...Option) {
 // Unpermute restores ascending sorted order from a layout previously
 // produced by Permute (with the same B for B-tree layouts), in place and
 // in parallel, for every layout.
+//
+// Inversion is always involution-based, whichever Algorithm built the
+// layout: Involution and CycleLeader realize the identical permutation
+// (they differ only in how the swaps are scheduled), and running the
+// involution rounds in reverse order inverts it with the lowest depth.
+// Unpermute therefore needs only the layout kind and B — an Algorithm
+// choice would be meaningless here, so none is accepted.
 func Unpermute[T any](data []T, k layout.Kind, opts ...Option) error {
 	c := buildConfig(opts)
 	o := c.options()

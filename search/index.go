@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"implicitlayout/layout"
+	"implicitlayout/perm"
 )
 
 // Index bundles a laid-out array with the query routine matching its
@@ -19,9 +20,13 @@ type Index[T cmp.Ordered] struct {
 
 // NewIndex wraps data, already permuted into layout k (with node capacity
 // b for B-tree layouts), in a queryable index. It does not copy data.
+// For B-tree layouts a b below 1 defaults to perm.DefaultB, matching the
+// capacity perm.Permute uses when none is given — pass b explicitly
+// whenever the layout was built with perm.WithB: b must equal the build
+// capacity or every query silently descends the wrong tree.
 func NewIndex[T cmp.Ordered](data []T, k layout.Kind, b int) *Index[T] {
 	if k == layout.BTree && b < 1 {
-		panic("search: B-tree index requires b >= 1")
+		b = perm.DefaultB
 	}
 	return &Index[T]{data: data, kind: k, b: b}
 }
@@ -31,6 +36,14 @@ func (ix *Index[T]) Len() int { return len(ix.data) }
 
 // Kind returns the layout the index queries.
 func (ix *Index[T]) Kind() layout.Kind { return ix.kind }
+
+// B returns the B-tree node capacity the index queries with (0 for
+// non-B-tree layouts built with no capacity).
+func (ix *Index[T]) B() int { return ix.b }
+
+// At returns the key stored at array position pos, as returned by Find or
+// Predecessor.
+func (ix *Index[T]) At(pos int) T { return ix.data[pos] }
 
 // Find returns the array position of x, or -1 if absent.
 func (ix *Index[T]) Find(x T) int {

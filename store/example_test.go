@@ -1,0 +1,36 @@
+package store_test
+
+import (
+	"fmt"
+
+	"implicitlayout/layout"
+	"implicitlayout/store"
+)
+
+// Example builds a sharded vEB store from unsorted keys, serves point,
+// batch, and predecessor queries, and exports the sorted snapshot.
+func Example() {
+	keys := []uint64{31, 3, 27, 11, 23, 7, 19, 1, 15, 5, 29, 9, 25, 13, 21, 17}
+	st, err := store.Build(keys, store.WithShards(4), store.WithLayout(layout.VEB))
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("shards:", st.Shards(), "fences:", st.Fences())
+	fmt.Println("Contains(15):", st.Contains(15), " Contains(16):", st.Contains(16))
+
+	if key, _, ok := st.Predecessor(16); ok {
+		fmt.Println("Predecessor(16):", key)
+	}
+
+	stats := st.GetBatch([]uint64{1, 2, 15, 31, 99}, 2)
+	fmt.Printf("batch: %d/%d hits\n", stats.Hits, stats.Queries)
+
+	fmt.Println("export:", st.Export()[:4], "...")
+	// Output:
+	// shards: 4 fences: [1 9 17 25]
+	// Contains(15): true  Contains(16): false
+	// Predecessor(16): 15
+	// batch: 3/5 hits
+	// export: [1 3 5 7] ...
+}

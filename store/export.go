@@ -1,0 +1,43 @@
+package store
+
+import (
+	"implicitlayout/internal/par"
+	"implicitlayout/perm"
+)
+
+// Export returns the store's keys in ascending sorted order. Each shard
+// is copied and inverted with perm.Unpermute concurrently; concatenating
+// the shards in fence order is already globally sorted because the build
+// partitioned by key range. The servable shards are never disturbed — a
+// Store stays a consistent snapshot for its readers while (and after) it
+// is exported.
+func (s *Store[T]) Export() []T {
+	out := make([]T, len(s.keys))
+	r := par.New(s.cfg.Workers)
+	r.Tasks(len(s.shards), func(i int, sub par.Runner) {
+		sh := s.shards[i]
+		dst := out[sh.off : sh.off+sh.idx.Len()]
+		copy(dst, s.keys[sh.off:sh.off+sh.idx.Len()])
+		if err := perm.Unpermute(dst, s.cfg.Layout,
+			perm.WithWorkers(sub.P()), perm.WithB(s.cfg.B)); err != nil {
+			// Build validated the layout kind, so inversion cannot fail.
+			panic("store: " + err.Error())
+		}
+	})
+	return out
+}
+
+// Rebuild constructs a new Store over the same key set with different
+// parameters (layout, shard count, B, ...), leaving the receiver intact:
+// the snapshot-swap primitive a serving process uses to migrate layouts
+// with zero reader downtime.
+func (s *Store[T]) Rebuild(opts ...Option) (*Store[T], error) {
+	merged := append([]Option{
+		WithShards(s.cfg.Shards),
+		WithLayout(s.cfg.Layout),
+		WithB(s.cfg.B),
+		WithWorkers(s.cfg.Workers),
+		WithAlgorithm(s.cfg.Algorithm),
+	}, opts...)
+	return Build(s.Export(), merged...)
+}

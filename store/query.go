@@ -1,0 +1,123 @@
+package store
+
+import "implicitlayout/internal/par"
+
+// Ref locates a key inside the store: the shard that holds it and the
+// key's position in that shard's layout array.
+type Ref struct {
+	Shard, Pos int
+}
+
+// Get returns the location of x, or ok == false when x is absent. The
+// query routes through the fence keys to the one shard whose range covers
+// x and descends that shard's layout.
+func (s *Store[T]) Get(x T) (ref Ref, ok bool) {
+	sh := s.route(x)
+	if sh < 0 {
+		return Ref{}, false
+	}
+	pos := s.shards[sh].idx.Find(x)
+	if pos < 0 {
+		return Ref{}, false
+	}
+	return Ref{Shard: sh, Pos: pos}, true
+}
+
+// At returns the key stored at ref, which must come from Get or
+// Predecessor on this store.
+func (s *Store[T]) At(ref Ref) T { return s.shards[ref.Shard].idx.At(ref.Pos) }
+
+// Contains reports whether x is present.
+func (s *Store[T]) Contains(x T) bool {
+	_, ok := s.Get(x)
+	return ok
+}
+
+// GlobalOffset returns the sorted rank of the first key of shard i: the
+// shard's keys occupy ranks [GlobalOffset(i), GlobalOffset(i)+ShardLen(i))
+// of the exported sorted order.
+func (s *Store[T]) GlobalOffset(i int) int { return s.shards[i].off }
+
+// Predecessor returns the largest key <= x and its location, or ok ==
+// false when x precedes every key. The fence router guarantees the
+// answer, if any, lies in the routed shard: its fence (smallest key) is
+// <= x by construction.
+func (s *Store[T]) Predecessor(x T) (key T, ref Ref, ok bool) {
+	sh := s.route(x)
+	if sh < 0 {
+		var zero T
+		return zero, Ref{}, false
+	}
+	pos := s.shards[sh].idx.Predecessor(x)
+	ref = Ref{Shard: sh, Pos: pos}
+	return s.At(ref), ref, true
+}
+
+// ShardStats counts the queries routed to one shard and how many hit.
+type ShardStats struct {
+	Queries, Hits int
+}
+
+// BatchStats aggregates one GetBatch call: total queries and hits plus
+// the per-shard breakdown (indexed by shard).
+type BatchStats struct {
+	Queries, Hits int
+	Shards        []ShardStats
+}
+
+func (b *BatchStats) add(o BatchStats) {
+	b.Queries += o.Queries
+	b.Hits += o.Hits
+	for i, s := range o.Shards {
+		b.Shards[i].Queries += s.Queries
+		b.Shards[i].Hits += s.Hits
+	}
+}
+
+// getBatchSerial answers queries on one worker, accumulating stats.
+func (s *Store[T]) getBatchSerial(queries []T) BatchStats {
+	st := BatchStats{Queries: len(queries), Shards: make([]ShardStats, len(s.shards))}
+	for _, q := range queries {
+		sh := s.route(q)
+		if sh < 0 {
+			continue
+		}
+		st.Shards[sh].Queries++
+		if s.shards[sh].idx.Find(q) >= 0 {
+			st.Shards[sh].Hits++
+			st.Hits++
+		}
+	}
+	return st
+}
+
+// GetBatch answers all queries with p parallel workers (values below 1
+// fall back to serial; so do batches too small to be worth forking) and
+// returns aggregate and per-shard statistics. Queries are independent, so
+// the batch is split into p contiguous chunks, each worker routes and
+// answers its chunk against the shared immutable shards, and the per-
+// worker statistics are merged — the embarrassingly parallel query
+// workload of the paper's evaluation, behind a serving-layer interface.
+func (s *Store[T]) GetBatch(queries []T, p int) BatchStats {
+	if p < 1 {
+		p = 1
+	}
+	if p == 1 || len(queries) < 2*p {
+		return s.getBatchSerial(queries)
+	}
+	// Unlike the permutation loops, each iteration here is a full tree
+	// descent, so forking pays off well below par.DefaultMinFor.
+	r := par.Runner{Lo: 0, Hi: p, MinFor: 2 * p}
+	partial := make([]BatchStats, p)
+	r.For(len(queries), func(w, lo, hi int) {
+		partial[w] = s.getBatchSerial(queries[lo:hi])
+	})
+	total := BatchStats{Shards: make([]ShardStats, len(s.shards))}
+	for _, st := range partial {
+		if st.Shards == nil {
+			continue // worker past the end of a short batch
+		}
+		total.add(st)
+	}
+	return total
+}

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"cmp"
+	"slices"
+
+	"implicitlayout/internal/par"
+)
+
+// sortSerialBelow is the input size under which forking sort runs is not
+// worth the goroutine overhead.
+const sortSerialBelow = 1 << 13
+
+// parallelSort sorts a ascending using the runner's workers: each worker
+// sorts one contiguous run, then runs are merged pairwise in parallel
+// rounds. It uses one n-element scratch buffer; the build pipeline is the
+// only caller, so the transient allocation never touches the query path.
+func parallelSort[T cmp.Ordered](r par.Runner, a []T) {
+	n := len(a)
+	p := r.P()
+	if p > n {
+		p = n
+	}
+	if p <= 1 || n < sortSerialBelow {
+		slices.Sort(a)
+		return
+	}
+
+	// Stage 1: p sorted runs, one per worker.
+	bounds := make([]int, p+1)
+	for i := range bounds {
+		bounds[i] = i * n / p
+	}
+	r.Tasks(p, func(i int, _ par.Runner) {
+		slices.Sort(a[bounds[i]:bounds[i+1]])
+	})
+
+	// Stage 2: merge runs pairwise until one remains, ping-ponging
+	// between a and the scratch buffer. Each merge task splits its pair
+	// across the sub-runner it receives (co-ranking), so the rounds keep
+	// all workers busy even as the run count halves — without this the
+	// final whole-array merge would be a serial O(n) tail.
+	src, dst := a, make([]T, n)
+	rounds := 0
+	for len(bounds)-1 > 1 {
+		runs := len(bounds) - 1
+		pairs := runs / 2
+		odd := runs % 2
+		r.Tasks(pairs+odd, func(t int, sub par.Runner) {
+			if t == pairs { // unpaired trailing run: carried over verbatim
+				copy(dst[bounds[2*t]:bounds[2*t+1]], src[bounds[2*t]:bounds[2*t+1]])
+				return
+			}
+			lo, mid, hi := bounds[2*t], bounds[2*t+1], bounds[2*t+2]
+			parallelMerge(sub, dst[lo:hi], src[lo:mid], src[mid:hi])
+		})
+		next := bounds[:0:0]
+		for i := 0; i < len(bounds); i += 2 {
+			next = append(next, bounds[i])
+		}
+		if next[len(next)-1] != n {
+			next = append(next, n)
+		}
+		bounds = next
+		src, dst = dst, src
+		rounds++
+	}
+	if rounds%2 == 1 {
+		copy(a, src)
+	}
+}
+
+// mergeSerialBelow is the merge output size under which splitting one
+// merge across workers is not worth the co-ranking overhead.
+const mergeSerialBelow = 1 << 12
+
+// parallelMerge merges the sorted runs x and y into dst using the
+// runner's workers: the output is cut into P near-equal chunks, co-rank
+// binary searches find the matching split points in x and y, and each
+// worker merges its chunk independently.
+func parallelMerge[T cmp.Ordered](r par.Runner, dst, x, y []T) {
+	k := r.P()
+	if k > len(dst) {
+		k = len(dst)
+	}
+	if k <= 1 || len(dst) < mergeSerialBelow {
+		mergeRuns(dst, x, y)
+		return
+	}
+	type cut struct{ i, j int }
+	cuts := make([]cut, k+1)
+	cuts[k] = cut{len(x), len(y)}
+	for w := 1; w < k; w++ {
+		i, j := coRank(w*len(dst)/k, x, y)
+		cuts[w] = cut{i, j}
+	}
+	r.Tasks(k, func(w int, _ par.Runner) {
+		lo, hi := cuts[w], cuts[w+1]
+		mergeRuns(dst[lo.i+lo.j:hi.i+hi.j], x[lo.i:hi.i], y[lo.j:hi.j])
+	})
+}
+
+// coRank returns the unique (i, j) with i+j == t such that merging x[:i]
+// and y[:j] yields the first t elements of the stable merge of x and y
+// (x wins ties, matching mergeRuns). Both slices must be sorted.
+func coRank[T cmp.Ordered](t int, x, y []T) (int, int) {
+	lo, hi := max(0, t-len(y)), min(t, len(x))
+	for {
+		i := int(uint(lo+hi) >> 1)
+		j := t - i
+		switch {
+		case j > 0 && i < len(x) && !cmp.Less(y[j-1], x[i]):
+			// y[j-1] >= x[i]: x[i] precedes y[j-1] in merge order, so it
+			// belongs inside the prefix — i is too small.
+			lo = i + 1
+		case i > 0 && j < len(y) && cmp.Less(y[j], x[i-1]):
+			// x[i-1] follows y[j] in merge order — i is too big.
+			hi = i - 1
+		default:
+			return i, j
+		}
+	}
+}
+
+// mergeRuns merges the sorted runs x and y into dst, which must have
+// length len(x)+len(y). Comparison is cmp.Less, the order slices.Sort
+// produces for stage-1 runs, so the parallel path orders float NaNs
+// exactly like the serial slices.Sort path.
+func mergeRuns[T cmp.Ordered](dst, x, y []T) {
+	i, j, k := 0, 0, 0
+	for i < len(x) && j < len(y) {
+		if cmp.Less(y[j], x[i]) {
+			dst[k] = y[j]
+			j++
+		} else {
+			dst[k] = x[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], x[i:])
+	copy(dst[k:], y[j:])
+}

@@ -1,0 +1,133 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"implicitlayout/internal/par"
+)
+
+// TestParallelSort compares against the standard sort across sizes
+// spanning the serial cutoff, worker counts, and duplicate-heavy inputs.
+func TestParallelSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 100, sortSerialBelow - 1, sortSerialBelow, 1 << 15, 1<<15 + 77} {
+		for _, p := range []int{1, 2, 3, 7, 8, 16} {
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = uint64(rng.Intn(n/4 + 1)) // plenty of duplicates
+			}
+			want := slices.Clone(a)
+			slices.Sort(want)
+			parallelSort(par.New(p), a)
+			if !slices.Equal(a, want) {
+				t.Fatalf("n=%d p=%d: parallelSort differs from slices.Sort", n, p)
+			}
+		}
+	}
+}
+
+// TestCoRank verifies the split invariant on duplicate-heavy runs: for
+// every cut position t, merging the co-ranked prefixes yields exactly the
+// first t elements of the full merge.
+func TestCoRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		x := make([]uint64, rng.Intn(200))
+		y := make([]uint64, rng.Intn(200))
+		for i := range x {
+			x[i] = uint64(rng.Intn(20))
+		}
+		for i := range y {
+			y[i] = uint64(rng.Intn(20))
+		}
+		slices.Sort(x)
+		slices.Sort(y)
+		full := make([]uint64, len(x)+len(y))
+		mergeRuns(full, x, y)
+		for cut := 0; cut <= len(full); cut++ {
+			i, j := coRank(cut, x, y)
+			if i+j != cut {
+				t.Fatalf("coRank(%d) = (%d, %d), sum != cut", cut, i, j)
+			}
+			prefix := make([]uint64, cut)
+			mergeRuns(prefix, x[:i], y[:j])
+			if !slices.Equal(prefix, full[:cut]) {
+				t.Fatalf("coRank(%d) = (%d, %d): prefix %v != %v", cut, i, j, prefix, full[:cut])
+			}
+		}
+	}
+}
+
+// TestParallelMerge cross-checks the co-ranked parallel merge against the
+// serial kernel across the serial cutoff.
+func TestParallelMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{mergeSerialBelow - 1, mergeSerialBelow, 1 << 14} {
+		for _, p := range []int{1, 2, 5, 8} {
+			x := make([]uint64, n/3)
+			y := make([]uint64, n-n/3)
+			for i := range x {
+				x[i] = uint64(rng.Intn(n / 2))
+			}
+			for i := range y {
+				y[i] = uint64(rng.Intn(n / 2))
+			}
+			slices.Sort(x)
+			slices.Sort(y)
+			want := make([]uint64, n)
+			mergeRuns(want, x, y)
+			got := make([]uint64, n)
+			parallelMerge(par.New(p), got, x, y)
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d p=%d: parallelMerge differs from mergeRuns", n, p)
+			}
+		}
+	}
+}
+
+// TestParallelSortNaN: float keys containing NaN sort identically on the
+// serial (slices.Sort) and parallel (run-sort + co-ranked merge) paths.
+func TestParallelSortNaN(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := sortSerialBelow * 2
+	a := make([]float64, n)
+	for i := range a {
+		if rng.Intn(10) == 0 {
+			a[i] = math.NaN()
+		} else {
+			a[i] = rng.NormFloat64()
+		}
+	}
+	want := slices.Clone(a)
+	slices.Sort(want)
+	parallelSort(par.New(8), a)
+	for i := range a {
+		if math.IsNaN(want[i]) != math.IsNaN(a[i]) || (!math.IsNaN(a[i]) && a[i] != want[i]) {
+			t.Fatalf("NaN sort diverges from slices.Sort at %d: %v vs %v", i, a[i], want[i])
+		}
+	}
+}
+
+// TestMergeRuns covers the pairwise merge kernel, including empty and
+// one-sided runs.
+func TestMergeRuns(t *testing.T) {
+	cases := []struct{ x, y []uint64 }{
+		{nil, nil},
+		{[]uint64{1}, nil},
+		{nil, []uint64{2}},
+		{[]uint64{1, 3, 5}, []uint64{2, 2, 4, 9}},
+		{[]uint64{7, 8}, []uint64{1, 2, 3}},
+	}
+	for _, c := range cases {
+		dst := make([]uint64, len(c.x)+len(c.y))
+		mergeRuns(dst, c.x, c.y)
+		want := append(slices.Clone(c.x), c.y...)
+		slices.Sort(want)
+		if !slices.Equal(dst, want) {
+			t.Fatalf("mergeRuns(%v, %v) = %v, want %v", c.x, c.y, dst, want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package store is a read-optimized, sharded static index store built on
+// the paper's in-place layout permutations: the first serving-layer
+// subsystem on the road from "fast kernels" to "fast system".
+//
+// A Store owns its keys end to end. Build ingests an unsorted key set and
+// runs the parallel build pipeline — parallel merge sort, range partition
+// into shards, then perm.Permute of every shard concurrently into the
+// configured layout (vEB by default). Queries route through a fence-key
+// router (the first key of each shard, captured while the data is still
+// sorted) and run the layout's search kernel inside the owning shard;
+// GetBatch fans a query batch out over a bounded worker pool and reports
+// per-shard hit statistics.
+//
+// A built Store is immutable — snapshot semantics. Any number of reader
+// goroutines may share one Store with no synchronization, and Export
+// recovers the sorted key set via perm.Unpermute without disturbing the
+// servable shards.
+package store
+
+import (
+	"cmp"
+	"fmt"
+	"runtime"
+
+	"implicitlayout/internal/par"
+	"implicitlayout/layout"
+	"implicitlayout/perm"
+	"implicitlayout/search"
+)
+
+// Config collects the build parameters; zero fields select defaults.
+type Config struct {
+	// Shards is the number of range partitions (default: GOMAXPROCS,
+	// clamped to the key count so no shard is empty).
+	Shards int
+	// Layout is the per-shard memory layout (default layout.VEB).
+	Layout layout.Kind
+	// B is the B-tree node capacity (default perm.DefaultB); ignored by
+	// the BST and vEB layouts.
+	B int
+	// Workers bounds the build pipeline's parallelism (values below 1
+	// select GOMAXPROCS).
+	Workers int
+	// Algorithm selects the permutation family (default perm.CycleLeader,
+	// the fastest on CPUs in the paper's measurements).
+	Algorithm perm.Algorithm
+}
+
+// Option configures Build.
+type Option func(*Config)
+
+// WithShards sets the shard count (values below 1 select GOMAXPROCS).
+func WithShards(s int) Option { return func(c *Config) { c.Shards = s } }
+
+// WithLayout selects the per-shard layout (default layout.VEB).
+func WithLayout(k layout.Kind) Option { return func(c *Config) { c.Layout = k } }
+
+// WithB sets the B-tree node capacity (default perm.DefaultB).
+func WithB(b int) Option { return func(c *Config) { c.B = b } }
+
+// WithWorkers bounds the build parallelism (values below 1 select
+// GOMAXPROCS).
+func WithWorkers(p int) Option { return func(c *Config) { c.Workers = p } }
+
+// WithAlgorithm selects the permutation family used by the build.
+func WithAlgorithm(a perm.Algorithm) Option { return func(c *Config) { c.Algorithm = a } }
+
+func buildConfig(n int, opts []Option) Config {
+	c := Config{Layout: layout.VEB, B: perm.DefaultB, Algorithm: perm.CycleLeader}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.Shards < 1 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards > n {
+		c.Shards = n
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.B < 1 {
+		c.B = perm.DefaultB
+	}
+	return c
+}
+
+// shard is one range partition: a laid-out slice of the store's backing
+// array plus its offset in sorted order.
+type shard[T cmp.Ordered] struct {
+	idx *search.Index[T]
+	off int // global sorted rank of the shard's first key
+}
+
+// Store is an immutable sharded index over a static key set. It is safe
+// for concurrent use by any number of reader goroutines.
+type Store[T cmp.Ordered] struct {
+	cfg    Config
+	keys   []T // backing array, shards laid out back to back
+	shards []shard[T]
+	fences []T // fences[i] = smallest key of shard i (sorted ascending)
+}
+
+// Build ingests keys (in any order, duplicates allowed), runs the
+// parallel build pipeline, and returns the immutable Store. The input
+// slice is copied, never mutated.
+//
+// Keys must be totally ordered by <. Floating-point key sets containing
+// NaN sort deterministically (NaNs first, as slices.Sort orders them)
+// and Export stays correct, but the layout query kernels compare with <
+// like every searcher in this repository, so queries touching a shard
+// that holds a NaN are undefined — filter NaNs out upstream.
+func Build[T cmp.Ordered](keys []T, opts ...Option) (*Store[T], error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("store: cannot build from an empty key set")
+	}
+	c := buildConfig(len(keys), opts)
+	switch c.Layout {
+	case layout.Sorted, layout.BST, layout.BTree, layout.VEB:
+	default:
+		return nil, fmt.Errorf("store: unknown layout %v", c.Layout)
+	}
+	owned := make([]T, len(keys))
+	copy(owned, keys)
+
+	runner := par.New(c.Workers)
+
+	// Stage 1: parallel sort of the full key set.
+	parallelSort(runner, owned)
+
+	// Stage 2: range partition. Equal-size index ranges of the sorted
+	// array are contiguous key ranges, so the partition is by key range
+	// with near-perfect balance; fences are read off before the layout
+	// permutation destroys sorted order.
+	s := &Store[T]{cfg: c, keys: owned}
+	s.shards = make([]shard[T], c.Shards)
+	s.fences = make([]T, c.Shards)
+	n := len(owned)
+	for i := 0; i < c.Shards; i++ {
+		lo, hi := i*n/c.Shards, (i+1)*n/c.Shards
+		s.shards[i] = shard[T]{off: lo, idx: search.NewIndex(owned[lo:hi:hi], c.Layout, c.B)}
+		s.fences[i] = owned[lo]
+	}
+
+	// Stage 3: permute every shard into its layout concurrently. Each
+	// shard task inherits a disjoint slice of the worker budget, so total
+	// build parallelism stays bounded by c.Workers.
+	runner.Tasks(c.Shards, func(i int, sub par.Runner) {
+		lo, hi := i*n/c.Shards, (i+1)*n/c.Shards
+		perm.Permute(owned[lo:hi], c.Layout, c.Algorithm,
+			perm.WithWorkers(sub.P()), perm.WithB(c.B))
+	})
+	return s, nil
+}
+
+// Len returns the number of keys (including duplicates).
+func (s *Store[T]) Len() int { return len(s.keys) }
+
+// Shards returns the shard count.
+func (s *Store[T]) Shards() int { return len(s.shards) }
+
+// Layout returns the per-shard layout kind.
+func (s *Store[T]) Layout() layout.Kind { return s.cfg.Layout }
+
+// B returns the B-tree node capacity shards were built with.
+func (s *Store[T]) B() int { return s.cfg.B }
+
+// Fences returns the router's fence keys: Fences()[i] is the smallest key
+// of shard i. The result is a copy and ascends.
+func (s *Store[T]) Fences() []T {
+	f := make([]T, len(s.fences))
+	copy(f, s.fences)
+	return f
+}
+
+// ShardLen returns the number of keys in shard i.
+func (s *Store[T]) ShardLen(i int) int { return s.shards[i].idx.Len() }
+
+// route returns the shard that would hold x: the largest i with
+// fences[i] <= x, or -1 when x precedes every key in the store.
+func (s *Store[T]) route(x T) int {
+	return search.PredecessorBinary(s.fences, x)
+}
