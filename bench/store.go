@@ -9,11 +9,15 @@ import (
 	"implicitlayout/store"
 )
 
+// storeValMagic derives a record's payload from its key, so the
+// benchmark can verify returned values without a reference table.
+const storeValMagic = 0x9e3779b97f4a7c15
+
 // StoreConfig parameterizes the sharded-store serving benchmark: the
 // cross product of layouts, shard counts, and query worker counts over
-// one key set.
+// one record set.
 type StoreConfig struct {
-	// LogN is the key count exponent (2^LogN keys).
+	// LogN is the record count exponent (2^LogN records).
 	LogN int
 	// Q is the number of queries per measurement.
 	Q int
@@ -31,32 +35,38 @@ type StoreConfig struct {
 	Seed int64
 }
 
-// StoreThroughput measures the store serving layer: build time of the
-// parallel pipeline (sort + partition + concurrent permute) and GetBatch
-// query throughput, for every layout x shard count x worker count. The
-// busiest-shard column reports per-shard throughput under the fence
-// router's near-uniform query spread.
+// StoreThroughput measures the store serving layer over key–value
+// records: build time of the parallel pipeline (stable sort + partition
+// + concurrent payload-carrying permute) and GetBatch query throughput
+// — values returned and verified against the key-derived payload — for
+// every layout x shard count x worker count. The busiest-shard column
+// reports per-shard throughput under the fence router's near-uniform
+// query spread.
 func StoreThroughput(c StoreConfig) *Table {
 	n := 1 << c.LogN
 	keys := workload.Sorted(n)
 	rand.New(rand.NewSource(c.Seed)).Shuffle(n, func(i, j int) {
 		keys[i], keys[j] = keys[j], keys[i]
 	})
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = keys[i] ^ storeValMagic
+	}
 	queries := workload.Queries(c.Q, n, c.HitFrac, c.Seed+1)
 
 	t := &Table{
-		Title: fmt.Sprintf("store: serving throughput, N=2^%d, %d queries", c.LogN, c.Q),
-		Note: fmt.Sprintf("build = parallel sort + range partition + concurrent permute; "+
-			"hitfrac=%.2f b=%d trials=%d", c.HitFrac, c.B, c.Trials),
+		Title: fmt.Sprintf("store: serving throughput, N=2^%d records, %d queries", c.LogN, c.Q),
+		Note: fmt.Sprintf("build = parallel stable sort + range partition + concurrent "+
+			"payload-carrying permute; hitfrac=%.2f b=%d trials=%d", c.HitFrac, c.B, c.Trials),
 		Header: []string{"layout", "shards", "workers", "build_s", "Mq/s", "ns/query",
 			"busiest_shard_q/s", "hit%"},
 	}
 	for _, kind := range c.Layouts {
 		for _, shards := range c.Shards {
-			var st *store.Store[uint64]
+			var st *store.Store[uint64, uint64]
 			var err error
 			build := timeIt(c.Trials, func() {}, func() {
-				st, err = store.Build(keys,
+				st, err = store.Build(keys, vals,
 					store.WithLayout(kind), store.WithShards(shards), store.WithB(c.B))
 			})
 			if err != nil {
@@ -65,12 +75,17 @@ func StoreThroughput(c StoreConfig) *Table {
 				continue
 			}
 			for _, p := range c.Workers {
-				var stats store.BatchStats
+				var res store.BatchResult[uint64]
 				d := timeIt(c.Trials, func() {}, func() {
-					stats = st.GetBatch(queries, p)
+					res = st.GetBatch(queries, p)
 				})
+				for qi, q := range queries {
+					if res.Found[qi] && res.Vals[qi] != q^storeValMagic {
+						panic(fmt.Sprintf("bench: store returned wrong value for key %d", q))
+					}
+				}
 				busiest := 0
-				for _, sh := range stats.Shards {
+				for _, sh := range res.Shards {
 					busiest = max(busiest, sh.Queries)
 				}
 				qps := float64(c.Q) / d.Seconds()
@@ -82,7 +97,7 @@ func StoreThroughput(c StoreConfig) *Table {
 					fmt.Sprintf("%.2f", qps/1e6),
 					fmt.Sprintf("%.0f", float64(d.Nanoseconds())/float64(c.Q)),
 					fmt.Sprintf("%.3g", float64(busiest)/d.Seconds()),
-					fmt.Sprintf("%.1f", 100*float64(stats.Hits)/float64(stats.Queries)),
+					fmt.Sprintf("%.1f", 100*float64(res.Hits)/float64(res.Queries)),
 				)
 			}
 		}

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -29,5 +31,35 @@ func TestStoreThroughputSmoke(t *testing.T) {
 		if err != nil || hit < 30 || hit > 70 {
 			t.Fatalf("hit%% %s implausible for hitfrac 0.5: %v", r[len(r)-1], r)
 		}
+	}
+}
+
+// TestTableJSON: the machine-readable emitter produces valid JSON whose
+// records mirror the rows under header keys.
+func TestTableJSON(t *testing.T) {
+	tb := &Table{
+		Title:  "t",
+		Note:   "n",
+		Header: []string{"layout", "Mq/s"},
+		Rows:   [][]string{{"veb", "12.5"}, {"btree", "20.1"}},
+	}
+	var buf bytes.Buffer
+	if err := tb.JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string              `json:"title"`
+		Header  []string            `json:"header"`
+		Rows    [][]string          `json:"rows"`
+		Records []map[string]string `json:"records"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got.Title != "t" || len(got.Rows) != 2 || len(got.Records) != 2 {
+		t.Fatalf("JSON shape wrong: %+v", got)
+	}
+	if got.Records[1]["layout"] != "btree" || got.Records[1]["Mq/s"] != "20.1" {
+		t.Fatalf("records not header-keyed: %+v", got.Records)
 	}
 }

@@ -1,11 +1,14 @@
-// Command storebench measures the sharded store serving layer: parallel
-// build-pipeline time and GetBatch query throughput (aggregate and
-// busiest-shard) across the grid of layouts, shard counts, and query
-// worker counts.
+// Command storebench measures the sharded key–value store serving layer:
+// parallel build-pipeline time and GetBatch query throughput (aggregate
+// and busiest-shard, with returned values verified) across the grid of
+// layouts, shard counts, and query worker counts. With -json the table
+// is also written as machine-readable JSON (BENCH_store.json-style) so
+// CI can archive and trend the perf trajectory.
 //
-// Example:
+// Examples:
 //
 //	storebench -logn 22 -q 1000000 -shards 1,4,16 -workers 1,8 -layouts veb,btree
+//	storebench -logn 20 -trials 1 -json BENCH_store.json
 package main
 
 import (
@@ -30,6 +33,8 @@ func main() {
 	trials := flag.Int("trials", 3, "timed repetitions per cell")
 	seed := flag.Int64("seed", 1, "key shuffle and query generator seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	jsonPath := flag.String("json", "",
+		"write the table as machine-readable JSON to this file (\"-\" for stdout)")
 	flag.Parse()
 
 	t := bench.StoreThroughput(bench.StoreConfig{
@@ -39,6 +44,25 @@ func main() {
 		Workers: parseInts(*workers),
 		Trials:  *trials, Seed: *seed,
 	})
+	if *jsonPath == "-" {
+		// JSON owns stdout; no text table alongside it.
+		if err := t.JSON(os.Stdout); err != nil {
+			fatalf("writing JSON: %v", err)
+		}
+		return
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatalf("creating %s: %v", *jsonPath, err)
+		}
+		if err := t.JSON(f); err != nil {
+			fatalf("writing %s: %v", *jsonPath, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("closing %s: %v", *jsonPath, err)
+		}
+	}
 	if *csv {
 		t.CSV(os.Stdout)
 	} else {

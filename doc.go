@@ -6,16 +6,28 @@
 // (PEM I/O, GPU), and the benchmark harness that regenerates every table
 // and figure of the paper's evaluation.
 //
+// The repository treats layouts as indexes over key–value records, not
+// bare key sets: perm.PermuteWith moves a value slice by the exact same
+// permutation as its keys, search iterates records in sorted order
+// directly over any layout, and store serves sharded key–value snapshots.
+//
 // Public API:
 //
-//   - layout: layout definitions, index arithmetic, reference builders;
-//   - perm:   the in-place parallel permutations (the paper's contribution);
-//   - search: queries (exact and predecessor) on every layout;
-//   - store:  sharded static index store — parallel build pipeline (sort,
-//     range partition, concurrent permute) plus a concurrent, batched
-//     query engine with snapshot semantics;
+//   - layout: layout definitions, index arithmetic (including in-order
+//     rank -> array position), reference builders;
+//   - perm:   the in-place parallel permutations (the paper's
+//     contribution), keys-only (Permute/Unpermute) and payload-carrying
+//     (PermuteWith/UnpermuteWith);
+//   - search: queries on every layout — exact, predecessor, successor,
+//     rank access, and ordered Range/Scan iteration without unpermuting;
+//   - store:  sharded static key–value store — parallel build pipeline
+//     (stable sort, duplicate-key resolution, range partition, concurrent
+//     payload-carrying permute) plus a concurrent, batched query engine
+//     with value-returning Get/GetBatch, cross-shard ordered Range/Scan
+//     streaming, and snapshot semantics (Set is the keys-only alias);
 //   - bench:  experiment runners for the paper's tables and figures and
-//     the store serving benchmarks.
+//     the store serving benchmarks (text, CSV, and JSON output).
 //
-// See README.md for a tour and quickstart.
+// See README.md for a tour, quickstart, and the migration note from the
+// PR 1 key-set store API.
 package implicitlayout

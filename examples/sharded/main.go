@@ -1,8 +1,9 @@
 // Sharded store walkthrough: ingest an unsorted key set, let the parallel
-// pipeline sort + partition + permute it into a sharded vEB store, serve
+// pipeline sort + partition + permute it into a sharded vEB key set, serve
 // concurrent batched queries with per-shard statistics, then export the
 // sorted snapshot and migrate it to a B-tree layout — the serving-layer
-// tour of the library.
+// tour of the library. (For value payloads and range scans, see
+// examples/kvstore.)
 package main
 
 import (
@@ -28,8 +29,9 @@ func main() {
 	})
 
 	// 2. Build: parallel sort, range-partition into shards, and permute
-	//    every shard concurrently into the vEB layout.
-	st, err := store.Build(keys,
+	//    every shard concurrently into the vEB layout. BuildSet is the
+	//    keys-only constructor; store.Build ingests key–value pairs.
+	st, err := store.BuildSet(keys,
 		store.WithShards(8),
 		store.WithLayout(layout.VEB),
 		store.WithWorkers(runtime.NumCPU()))
@@ -41,14 +43,14 @@ func main() {
 
 	// 3. Point queries route through the fence keys to one shard.
 	for _, q := range []uint64{1, 99991, 2*n - 1, 42} {
-		if ref, ok := st.Get(q); ok {
-			fmt.Printf("Get(%d) -> shard %d pos %d\n", q, ref.Shard, ref.Pos)
+		if ref, ok := st.GetRef(q); ok {
+			fmt.Printf("GetRef(%d) -> shard %d pos %d\n", q, ref.Shard, ref.Pos)
 		} else {
-			fmt.Printf("Get(%d) -> not present\n", q)
+			fmt.Printf("GetRef(%d) -> not present\n", q)
 		}
 	}
-	if key, ref, ok := st.Predecessor(100); ok {
-		fmt.Printf("Pred(100) -> %d (shard %d)\n", key, ref.Shard)
+	if key, _, ok := st.Predecessor(100); ok {
+		fmt.Printf("Pred(100) -> %d\n", key)
 	}
 
 	// 4. The store is an immutable snapshot: readers share it freely.
@@ -64,15 +66,15 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			stats := st.GetBatch(queries, 4)
+			res := st.GetBatch(queries, 4)
 			busiest := store.ShardStats{}
-			for _, sh := range stats.Shards {
+			for _, sh := range res.Shards {
 				if sh.Queries > busiest.Queries {
 					busiest = sh
 				}
 			}
 			fmt.Printf("reader: %d/%d hits; busiest shard answered %d\n",
-				stats.Hits, stats.Queries, busiest.Queries)
+				res.Hits, res.Queries, busiest.Queries)
 		}()
 	}
 	wg.Wait()
@@ -80,7 +82,7 @@ func main() {
 	// 5. Export the sorted snapshot (Unpermute per shard, concurrently)
 	//    and migrate the same keys to a 16-shard B-tree store — the
 	//    original store keeps serving until the swap.
-	sorted := st.Export()
+	sorted, _ := st.Export()
 	fmt.Printf("export: sorted[0]=%d sorted[%d]=%d\n", sorted[0], n-1, sorted[n-1])
 
 	migrated, err := st.Rebuild(store.WithLayout(layout.BTree), store.WithShards(16))

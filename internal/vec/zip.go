@@ -1,0 +1,66 @@
+package vec
+
+// KV is the element type a Zip backend presents to the permutation
+// kernels: one key paired with its payload. The kernels never inspect
+// elements — they only move them — so the pairing exists purely to make
+// two slices travel under one permutation.
+type KV[K, V any] struct {
+	Key K
+	Val V
+}
+
+// Zip adapts two equal-length parallel slices to the Vec interface as a
+// single logical array of key–value pairs: every Swap, Set, and SwapRange
+// applies identically to both slices, so whatever permutation a kernel
+// realizes on the keys is realized on the values too. The processor
+// argument is ignored, like Slice. Keeping the slices separate (rather
+// than materializing []KV) preserves the caller's memory layout: the key
+// array stays densely packed for the search kernels.
+type Zip[K, V any] struct {
+	Keys []K
+	Vals []V
+}
+
+// ZipOf wraps the parallel slices keys and vals in a Zip backend. It
+// panics if the lengths differ — a length mismatch could only scramble
+// data silently.
+func ZipOf[K, V any](keys []K, vals []V) Zip[K, V] {
+	if len(keys) != len(vals) {
+		panic("vec: zipped slices must have equal length")
+	}
+	return Zip[K, V]{Keys: keys, Vals: vals}
+}
+
+// Len returns the number of pairs.
+func (z Zip[K, V]) Len() int { return len(z.Keys) }
+
+// Get returns the pair at index i.
+func (z Zip[K, V]) Get(_, i int) KV[K, V] { return KV[K, V]{Key: z.Keys[i], Val: z.Vals[i]} }
+
+// Set stores the pair x at index i.
+func (z Zip[K, V]) Set(_, i int, x KV[K, V]) { z.Keys[i], z.Vals[i] = x.Key, x.Val }
+
+// Swap exchanges the pairs at i and j.
+func (z Zip[K, V]) Swap(_, i, j int) {
+	z.Keys[i], z.Keys[j] = z.Keys[j], z.Keys[i]
+	z.Vals[i], z.Vals[j] = z.Vals[j], z.Vals[i]
+}
+
+// SwapRange exchanges the non-overlapping pair blocks [i, i+n) and
+// [j, j+n).
+func (z Zip[K, V]) SwapRange(_, i, j, n int) {
+	ka, kb := z.Keys[i:i+n], z.Keys[j:j+n]
+	for t := range ka {
+		ka[t], kb[t] = kb[t], ka[t]
+	}
+	va, vb := z.Vals[i:i+n], z.Vals[j:j+n]
+	for t := range va {
+		va[t], vb[t] = vb[t], va[t]
+	}
+}
+
+// BeginRound is a no-op for the zipped slice backend.
+func (Zip[K, V]) BeginRound(string, int) {}
+
+// AddInstr is a no-op for the zipped slice backend.
+func (Zip[K, V]) AddInstr(int, int) {}

@@ -1,0 +1,75 @@
+package vec
+
+import "testing"
+
+func TestZipBasicOps(t *testing.T) {
+	keys := []uint64{10, 11, 12, 13, 14, 15}
+	vals := []string{"a", "b", "c", "d", "e", "f"}
+	z := ZipOf(keys, vals)
+	if z.Len() != 6 {
+		t.Fatal("Len wrong")
+	}
+	if got := z.Get(0, 3); got.Key != 13 || got.Val != "d" {
+		t.Fatalf("Get = %+v", got)
+	}
+	z.Set(1, 0, KV[uint64, string]{Key: 42, Val: "z"})
+	if keys[0] != 42 || vals[0] != "z" {
+		t.Fatal("Set did not write both slices")
+	}
+	z.Swap(0, 0, 5)
+	if keys[0] != 15 || vals[0] != "f" || keys[5] != 42 || vals[5] != "z" {
+		t.Fatal("Swap did not move both slices")
+	}
+	z.BeginRound("x", 1) // no-ops must not panic
+	z.AddInstr(0, 10)
+}
+
+func TestZipSwapRangeMovesBothSlices(t *testing.T) {
+	const half = 7
+	keys := make([]int, 2*half)
+	vals := make([]int, 2*half)
+	for i := range keys {
+		keys[i] = i
+		vals[i] = -i
+	}
+	ZipOf(keys, vals).SwapRange(0, 0, half, half)
+	for i := 0; i < half; i++ {
+		if keys[i] != half+i || keys[half+i] != i {
+			t.Fatalf("keys not block-swapped: %v", keys)
+		}
+		if vals[i] != -(half+i) || vals[half+i] != -i {
+			t.Fatalf("vals not block-swapped: %v", vals)
+		}
+	}
+}
+
+func TestZipLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ZipOf with mismatched lengths should panic")
+		}
+	}()
+	ZipOf([]int{1, 2}, []string{"a"})
+}
+
+func TestZipStaysPaired(t *testing.T) {
+	// Any sequence of moves must keep keys[i] and vals[i] paired: vals
+	// start as the negation of keys, and the invariant must survive.
+	keys := make([]int, 33)
+	vals := make([]int, 33)
+	for i := range keys {
+		keys[i] = i + 1
+		vals[i] = -(i + 1)
+	}
+	z := ZipOf(keys, vals)
+	z.Swap(0, 3, 30)
+	z.SwapRange(0, 0, 16, 10)
+	tmp := z.Get(0, 7)
+	z.Set(0, 7, z.Get(0, 22))
+	z.Set(0, 22, tmp)
+	for i := range keys {
+		if vals[i] != -keys[i] {
+			t.Fatalf("pair broken at %d: key %d val %d", i, keys[i], vals[i])
+		}
+	}
+}

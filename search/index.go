@@ -45,12 +45,35 @@ func (ix *Index[T]) B() int { return ix.b }
 // Predecessor.
 func (ix *Index[T]) At(pos int) T { return ix.data[pos] }
 
+// PosOfRank returns the array position of the key with in-order rank
+// `rank` (0-based): the forward permutation of the paper, computed in
+// O(log N) index arithmetic without any rank table. It panics if rank is
+// outside [0, Len()).
+func (ix *Index[T]) PosOfRank(rank int) int {
+	return layout.PosOf(ix.kind, rank, len(ix.data), ix.b)
+}
+
+// AtRank returns the rank-th smallest key (0-based). Together with
+// PosOfRank it gives layouts positional access in sorted order — the
+// rank machinery behind ordered iteration — at O(log N) per call; use
+// Scan or Range to stream many keys.
+func (ix *Index[T]) AtRank(rank int) T { return ix.data[ix.PosOfRank(rank)] }
+
+// bstPrefetchMinLen is the key count from which Find routes BST-layout
+// queries through BSTPrefetch: below it the tree's hot levels fit in L2
+// and the extra warm-up loads are pure overhead; above it they hide
+// memory latency (Khuong–Morin report ~2x on large arrays).
+const bstPrefetchMinLen = 1 << 15
+
 // Find returns the array position of x, or -1 if absent.
 func (ix *Index[T]) Find(x T) int {
 	switch ix.kind {
 	case layout.Sorted:
 		return Binary(ix.data, x)
 	case layout.BST:
+		if len(ix.data) >= bstPrefetchMinLen {
+			return BSTPrefetch(ix.data, x)
+		}
 		return BST(ix.data, x)
 	case layout.BTree:
 		return BTree(ix.data, ix.b, x)

@@ -121,6 +121,66 @@ func (ix *Index[T]) Range(lo, hi T, yield func(pos int, key T) bool) {
 	}
 }
 
+// Scan calls yield for every key in the index, in ascending sorted
+// order, stopping early if yield returns false. Like Range it walks the
+// conceptual tree in order — O(N) node visits, no unpermuting, no
+// allocation — which is how the store streams whole shards for
+// sorted-order export-style reads while they keep serving point queries.
+func (ix *Index[T]) Scan(yield func(pos int, key T) bool) {
+	switch ix.kind {
+	case layout.Sorted:
+		for pos, key := range ix.data {
+			if !yield(pos, key) {
+				return
+			}
+		}
+	case layout.BTree:
+		ix.scanBTree(0, &yieldState[T]{yield: yield})
+	default:
+		ix.scanTree(0, 0, &yieldState[T]{yield: yield})
+	}
+}
+
+// scanTree walks the conceptual complete BST under (depth, rank) in
+// order, unconditionally: Range with the comparisons stripped out.
+func (ix *Index[T]) scanTree(depth, rank int, st *yieldState[T]) {
+	bfs := (1 << uint(depth)) - 1 + rank
+	if bfs >= len(ix.data) || st.done {
+		return
+	}
+	ix.scanTree(depth+1, 2*rank, st)
+	if st.done {
+		return
+	}
+	pos := ix.posOf(depth, rank)
+	if !st.yield(pos, ix.data[pos]) {
+		st.done = true
+		return
+	}
+	ix.scanTree(depth+1, 2*rank+1, st)
+}
+
+// scanBTree walks the multi-way node tree in order, unconditionally.
+func (ix *Index[T]) scanBTree(node int, st *yieldState[T]) {
+	n := len(ix.data)
+	start := node * ix.b
+	if start >= n || st.done {
+		return
+	}
+	end := min(start+ix.b, n)
+	for c := start; c < end; c++ {
+		ix.scanBTree(node*(ix.b+1)+1+(c-start), st)
+		if st.done {
+			return
+		}
+		if !st.yield(c, ix.data[c]) {
+			st.done = true
+			return
+		}
+	}
+	ix.scanBTree(node*(ix.b+1)+1+ix.b, st)
+}
+
 type yieldState[T any] struct {
 	yield func(pos int, key T) bool
 	done  bool

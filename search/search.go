@@ -8,6 +8,7 @@ package search
 
 import (
 	"cmp"
+	"runtime"
 
 	"implicitlayout/layout"
 )
@@ -72,28 +73,29 @@ func BSTBranchless[T cmp.Ordered](a []T, x T) int {
 	return -1
 }
 
-// prefetchSink keeps the explicit prefetch loads of BSTPrefetch observable
-// so the compiler cannot eliminate them.
-var prefetchSink uint64
-
-// BSTPrefetch searches the BST layout of 64-bit keys while explicitly
-// touching the great-grandchild block of the current node, emulating the
-// software prefetching that Khuong and Morin report roughly doubles BST
-// query throughput. Go has no portable prefetch intrinsic, so the "hint"
-// is an ordinary load: by the time the search descends three levels, the
-// line is resident.
-func BSTPrefetch(a []uint64, x uint64) int {
+// BSTPrefetch searches the BST layout while explicitly touching the
+// great-grandchild block of the current node, emulating the software
+// prefetching that Khuong and Morin report roughly doubles BST query
+// throughput. Go has no portable prefetch intrinsic, so the "hint" is an
+// ordinary load: by the time the search descends three levels, the line
+// is resident. It works for any ordered key type; the warm-up load feeds
+// a running maximum that runtime.KeepAlive pins at every exit, which
+// keeps each load observable to the compiler without a shared sink — so
+// concurrent batch queries stay free of data races.
+func BSTPrefetch[T cmp.Ordered](a []T, x T) int {
 	n := len(a)
 	i := 0
-	var warm uint64
+	var warm T
 	for i < n {
 		if j := 8*i + 7; j < n {
-			warm ^= a[j] // pull the great-grandchildren's cache line
+			if warm < a[j] { // pull the great-grandchildren's cache line
+				warm = a[j]
+			}
 		}
 		v := a[i]
 		switch {
 		case x == v:
-			prefetchSink ^= warm
+			runtime.KeepAlive(warm)
 			return i
 		case x < v:
 			i = 2*i + 1
@@ -101,7 +103,7 @@ func BSTPrefetch(a []uint64, x uint64) int {
 			i = 2*i + 2
 		}
 	}
-	prefetchSink ^= warm
+	runtime.KeepAlive(warm)
 	return -1
 }
 

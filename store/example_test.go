@@ -7,30 +7,48 @@ import (
 	"implicitlayout/store"
 )
 
-// Example builds a sharded vEB store from unsorted keys, serves point,
-// batch, and predecessor queries, and exports the sorted snapshot.
+// Example builds a sharded vEB key–value store from unsorted records,
+// serves point, batch, predecessor, and range queries, and exports the
+// sorted snapshot.
 func Example() {
 	keys := []uint64{31, 3, 27, 11, 23, 7, 19, 1, 15, 5, 29, 9, 25, 13, 21, 17}
-	st, err := store.Build(keys, store.WithShards(4), store.WithLayout(layout.VEB))
+	vals := make([]string, len(keys))
+	for i, k := range keys {
+		vals[i] = fmt.Sprint("rec", k)
+	}
+	st, err := store.Build(keys, vals, store.WithShards(4), store.WithLayout(layout.VEB))
 	if err != nil {
 		panic(err)
 	}
 
 	fmt.Println("shards:", st.Shards(), "fences:", st.Fences())
-	fmt.Println("Contains(15):", st.Contains(15), " Contains(16):", st.Contains(16))
+	v, ok := st.Get(15)
+	fmt.Printf("Get(15): %q %v  ", v, ok)
+	_, ok = st.Get(16)
+	fmt.Println("Get(16) ok:", ok)
 
-	if key, _, ok := st.Predecessor(16); ok {
-		fmt.Println("Predecessor(16):", key)
+	if key, val, ok := st.Predecessor(16); ok {
+		fmt.Printf("Predecessor(16): %d %q\n", key, val)
 	}
 
-	stats := st.GetBatch([]uint64{1, 2, 15, 31, 99}, 2)
-	fmt.Printf("batch: %d/%d hits\n", stats.Hits, stats.Queries)
+	res := st.GetBatch([]uint64{1, 2, 15, 31, 99}, 2)
+	fmt.Printf("batch: %d/%d hits, Vals[0]=%q\n", res.Hits, res.Queries, res.Vals[0])
 
-	fmt.Println("export:", st.Export()[:4], "...")
+	st.Range(5, 11, func(key uint64, val string) bool {
+		fmt.Printf("range hit %d=%q\n", key, val)
+		return true
+	})
+
+	sortedKeys, sortedVals := st.Export()
+	fmt.Println("export:", sortedKeys[:3], sortedVals[:3], "...")
 	// Output:
 	// shards: 4 fences: [1 9 17 25]
-	// Contains(15): true  Contains(16): false
-	// Predecessor(16): 15
-	// batch: 3/5 hits
-	// export: [1 3 5 7] ...
+	// Get(15): "rec15" true  Get(16) ok: false
+	// Predecessor(16): 15 "rec15"
+	// batch: 3/5 hits, Vals[0]="rec1"
+	// range hit 5="rec5"
+	// range hit 7="rec7"
+	// range hit 9="rec9"
+	// range hit 11="rec11"
+	// export: [1 3 5] [rec1 rec3 rec5] ...
 }

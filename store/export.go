@@ -5,39 +5,54 @@ import (
 	"implicitlayout/perm"
 )
 
-// Export returns the store's keys in ascending sorted order. Each shard
-// is copied and inverted with perm.Unpermute concurrently; concatenating
-// the shards in fence order is already globally sorted because the build
-// partitioned by key range. The servable shards are never disturbed — a
-// Store stays a consistent snapshot for its readers while (and after) it
-// is exported.
-func (s *Store[T]) Export() []T {
-	out := make([]T, len(s.keys))
+// Export returns the store's records in ascending key order (vals is nil
+// for keys-only stores). Each shard is copied and inverted with
+// perm.UnpermuteWith concurrently; concatenating the shards in fence
+// order is already globally sorted because the build partitioned by key
+// range. The servable shards are never disturbed — a Store stays a
+// consistent snapshot for its readers while (and after) it is exported.
+func (s *Store[K, V]) Export() (keys []K, vals []V) {
+	keys = make([]K, len(s.keys))
+	if s.vals != nil {
+		vals = make([]V, len(s.vals))
+	}
 	r := par.New(s.cfg.Workers)
 	r.Tasks(len(s.shards), func(i int, sub par.Runner) {
 		sh := s.shards[i]
-		dst := out[sh.off : sh.off+sh.idx.Len()]
-		copy(dst, s.keys[sh.off:sh.off+sh.idx.Len()])
-		if err := perm.Unpermute(dst, s.cfg.Layout,
-			perm.WithWorkers(sub.P()), perm.WithB(s.cfg.B)); err != nil {
+		lo, hi := sh.off, sh.off+sh.idx.Len()
+		dstK := keys[lo:hi]
+		copy(dstK, s.keys[lo:hi])
+		var err error
+		if vals == nil {
+			err = perm.Unpermute(dstK, s.cfg.Layout,
+				perm.WithWorkers(sub.P()), perm.WithB(s.cfg.B))
+		} else {
+			dstV := vals[lo:hi]
+			copy(dstV, s.vals[lo:hi])
+			err = perm.UnpermuteWith(dstK, dstV, s.cfg.Layout,
+				perm.WithWorkers(sub.P()), perm.WithB(s.cfg.B))
+		}
+		if err != nil {
 			// Build validated the layout kind, so inversion cannot fail.
 			panic("store: " + err.Error())
 		}
 	})
-	return out
+	return keys, vals
 }
 
-// Rebuild constructs a new Store over the same key set with different
+// Rebuild constructs a new Store over the same record set with different
 // parameters (layout, shard count, B, ...), leaving the receiver intact:
 // the snapshot-swap primitive a serving process uses to migrate layouts
 // with zero reader downtime.
-func (s *Store[T]) Rebuild(opts ...Option) (*Store[T], error) {
+func (s *Store[K, V]) Rebuild(opts ...Option) (*Store[K, V], error) {
 	merged := append([]Option{
 		WithShards(s.cfg.Shards),
 		WithLayout(s.cfg.Layout),
 		WithB(s.cfg.B),
 		WithWorkers(s.cfg.Workers),
 		WithAlgorithm(s.cfg.Algorithm),
+		WithDuplicates(s.cfg.Duplicates),
 	}, opts...)
-	return Build(s.Export(), merged...)
+	keys, vals := s.Export()
+	return Build(keys, vals, merged...)
 }

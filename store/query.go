@@ -2,16 +2,27 @@ package store
 
 import "implicitlayout/internal/par"
 
-// Ref locates a key inside the store: the shard that holds it and the
-// key's position in that shard's layout array.
+// Ref locates a record inside the store: the shard that holds it and the
+// record's position in that shard's layout array.
 type Ref struct {
 	Shard, Pos int
 }
 
-// Get returns the location of x, or ok == false when x is absent. The
-// query routes through the fence keys to the one shard whose range covers
-// x and descends that shard's layout.
-func (s *Store[T]) Get(x T) (ref Ref, ok bool) {
+// valAt returns the value stored at ref (the zero V for keys-only
+// stores). Values occupy the same backing-array positions as their keys,
+// so the lookup is one offset add.
+func (s *Store[K, V]) valAt(ref Ref) V {
+	if s.vals == nil {
+		var zero V
+		return zero
+	}
+	return s.vals[s.shards[ref.Shard].off+ref.Pos]
+}
+
+// GetRef returns the location of key x, or ok == false when x is absent.
+// The query routes through the fence keys to the one shard whose range
+// covers x and descends that shard's layout.
+func (s *Store[K, V]) GetRef(x K) (ref Ref, ok bool) {
 	sh := s.route(x)
 	if sh < 0 {
 		return Ref{}, false
@@ -23,34 +34,58 @@ func (s *Store[T]) Get(x T) (ref Ref, ok bool) {
 	return Ref{Shard: sh, Pos: pos}, true
 }
 
-// At returns the key stored at ref, which must come from Get or
-// Predecessor on this store.
-func (s *Store[T]) At(ref Ref) T { return s.shards[ref.Shard].idx.At(ref.Pos) }
+// Get returns the value stored under key x, or ok == false when x is
+// absent. Stores built without values (BuildSet, or Build with nil
+// vals) return the zero V on hits — see HasValues; use Contains there.
+func (s *Store[K, V]) Get(x K) (val V, ok bool) {
+	ref, ok := s.GetRef(x)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return s.valAt(ref), true
+}
 
-// Contains reports whether x is present.
-func (s *Store[T]) Contains(x T) bool {
-	_, ok := s.Get(x)
+// At returns the record stored at ref, which must come from GetRef or
+// PredecessorRef on this store.
+func (s *Store[K, V]) At(ref Ref) (key K, val V) {
+	return s.shards[ref.Shard].idx.At(ref.Pos), s.valAt(ref)
+}
+
+// Contains reports whether key x is present.
+func (s *Store[K, V]) Contains(x K) bool {
+	_, ok := s.GetRef(x)
 	return ok
 }
 
 // GlobalOffset returns the sorted rank of the first key of shard i: the
-// shard's keys occupy ranks [GlobalOffset(i), GlobalOffset(i)+ShardLen(i))
+// shard's records occupy ranks [GlobalOffset(i), GlobalOffset(i)+ShardLen(i))
 // of the exported sorted order.
-func (s *Store[T]) GlobalOffset(i int) int { return s.shards[i].off }
+func (s *Store[K, V]) GlobalOffset(i int) int { return s.shards[i].off }
 
-// Predecessor returns the largest key <= x and its location, or ok ==
+// Predecessor returns the largest key <= x with its value, or ok ==
+// false when x precedes every key.
+func (s *Store[K, V]) Predecessor(x K) (key K, val V, ok bool) {
+	ref, ok := s.PredecessorRef(x)
+	if !ok {
+		var zeroK K
+		var zeroV V
+		return zeroK, zeroV, false
+	}
+	key, val = s.At(ref)
+	return key, val, true
+}
+
+// PredecessorRef returns the location of the largest key <= x, or ok ==
 // false when x precedes every key. The fence router guarantees the
 // answer, if any, lies in the routed shard: its fence (smallest key) is
 // <= x by construction.
-func (s *Store[T]) Predecessor(x T) (key T, ref Ref, ok bool) {
+func (s *Store[K, V]) PredecessorRef(x K) (ref Ref, ok bool) {
 	sh := s.route(x)
 	if sh < 0 {
-		var zero T
-		return zero, Ref{}, false
+		return Ref{}, false
 	}
-	pos := s.shards[sh].idx.Predecessor(x)
-	ref = Ref{Shard: sh, Pos: pos}
-	return s.At(ref), ref, true
+	return Ref{Shard: sh, Pos: s.shards[sh].idx.Predecessor(x)}, true
 }
 
 // ShardStats counts the queries routed to one shard and how many hit.
@@ -65,59 +100,85 @@ type BatchStats struct {
 	Shards        []ShardStats
 }
 
-func (b *BatchStats) add(o BatchStats) {
-	b.Queries += o.Queries
-	b.Hits += o.Hits
-	for i, s := range o.Shards {
-		b.Shards[i].Queries += s.Queries
-		b.Shards[i].Hits += s.Hits
-	}
+// BatchResult is one GetBatch answer set: Vals[i] is the value stored
+// under queries[i] (the zero V when absent, or for keys-only stores) and
+// Found[i] reports presence; the embedded BatchStats aggregates hit
+// counts per shard.
+type BatchResult[V any] struct {
+	Vals  []V
+	Found []bool
+	BatchStats
 }
 
-// getBatchSerial answers queries on one worker, accumulating stats.
-func (s *Store[T]) getBatchSerial(queries []T) BatchStats {
-	st := BatchStats{Queries: len(queries), Shards: make([]ShardStats, len(s.shards))}
-	for _, q := range queries {
+// getBatchSerial answers queries on one worker, writing the aligned
+// result slices and accumulating stats. vals, found, and queries have
+// equal length.
+func (s *Store[K, V]) getBatchSerial(queries []K, vals []V, found []bool, shards []ShardStats) (hits int) {
+	for qi, q := range queries {
 		sh := s.route(q)
 		if sh < 0 {
 			continue
 		}
-		st.Shards[sh].Queries++
-		if s.shards[sh].idx.Find(q) >= 0 {
-			st.Shards[sh].Hits++
-			st.Hits++
+		shards[sh].Queries++
+		pos := s.shards[sh].idx.Find(q)
+		if pos < 0 {
+			continue
 		}
+		shards[sh].Hits++
+		hits++
+		found[qi] = true
+		vals[qi] = s.valAt(Ref{Shard: sh, Pos: pos})
 	}
-	return st
+	return hits
 }
 
 // GetBatch answers all queries with p parallel workers (values below 1
 // fall back to serial; so do batches too small to be worth forking) and
-// returns aggregate and per-shard statistics. Queries are independent, so
-// the batch is split into p contiguous chunks, each worker routes and
-// answers its chunk against the shared immutable shards, and the per-
-// worker statistics are merged — the embarrassingly parallel query
-// workload of the paper's evaluation, behind a serving-layer interface.
-func (s *Store[T]) GetBatch(queries []T, p int) BatchStats {
+// returns every value alongside aggregate and per-shard statistics.
+// Queries are independent, so the batch is split into p contiguous
+// chunks, each worker routes and answers its chunk against the shared
+// immutable shards — writing disjoint ranges of the result slices — and
+// the per-worker statistics are merged: the embarrassingly parallel
+// query workload of the paper's evaluation, behind a serving-layer
+// interface.
+func (s *Store[K, V]) GetBatch(queries []K, p int) BatchResult[V] {
+	res := BatchResult[V]{
+		Vals:  make([]V, len(queries)),
+		Found: make([]bool, len(queries)),
+		BatchStats: BatchStats{
+			Queries: len(queries),
+			Shards:  make([]ShardStats, len(s.shards)),
+		},
+	}
 	if p < 1 {
 		p = 1
 	}
 	if p == 1 || len(queries) < 2*p {
-		return s.getBatchSerial(queries)
+		res.Hits = s.getBatchSerial(queries, res.Vals, res.Found, res.Shards)
+		return res
 	}
 	// Unlike the permutation loops, each iteration here is a full tree
 	// descent, so forking pays off well below par.DefaultMinFor.
 	r := par.Runner{Lo: 0, Hi: p, MinFor: 2 * p}
-	partial := make([]BatchStats, p)
+	type partialStats struct {
+		hits   int
+		shards []ShardStats
+	}
+	partial := make([]partialStats, p)
 	r.For(len(queries), func(w, lo, hi int) {
-		partial[w] = s.getBatchSerial(queries[lo:hi])
+		shards := make([]ShardStats, len(s.shards))
+		hits := s.getBatchSerial(queries[lo:hi], res.Vals[lo:hi], res.Found[lo:hi], shards)
+		partial[w] = partialStats{hits: hits, shards: shards}
 	})
-	total := BatchStats{Shards: make([]ShardStats, len(s.shards))}
 	for _, st := range partial {
-		if st.Shards == nil {
+		if st.shards == nil {
 			continue // worker past the end of a short batch
 		}
-		total.add(st)
+		res.Hits += st.hits
+		for i, sh := range st.shards {
+			res.Shards[i].Queries += sh.Queries
+			res.Shards[i].Hits += sh.Hits
+		}
 	}
-	return total
+	return res
 }

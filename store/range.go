@@ -1,0 +1,57 @@
+package store
+
+// Scan calls yield for every record in the store, in globally ascending
+// key order, stopping early if yield returns false. No shard is ever
+// unpermuted: each shard's layout is walked in order by the index's Scan
+// (O(N) node visits total), and shards are visited in fence order, which
+// is globally sorted because the build partitioned by key range. Like
+// every query, Scan leaves the snapshot untouched and may run alongside
+// any number of other readers.
+func (s *Store[K, V]) Scan(yield func(key K, val V) bool) {
+	for i := range s.shards {
+		stopped := false
+		s.shards[i].idx.Scan(func(pos int, key K) bool {
+			if !yield(key, s.valAt(Ref{Shard: i, Pos: pos})) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// Range calls yield for every record with lo <= key <= hi, in globally
+// ascending key order, stopping early if yield returns false. The fence
+// keys prune the shard walk to the ones whose key range intersects
+// [lo, hi]; inside each surviving shard the layout's in-order range
+// descent prunes subtrees, so the cost is O(k + S log N) node visits for
+// k reported records over S intersecting shards.
+func (s *Store[K, V]) Range(lo, hi K, yield func(key K, val V) bool) {
+	if hi < lo {
+		return
+	}
+	for i := range s.shards {
+		if s.fences[i] > hi {
+			return // fences ascend: every later shard starts above hi too
+		}
+		// A shard's keys never exceed the next fence, so a next fence
+		// below lo means this whole shard sits below the interval.
+		if i+1 < len(s.shards) && s.fences[i+1] < lo {
+			continue
+		}
+		stopped := false
+		s.shards[i].idx.Range(lo, hi, func(pos int, key K) bool {
+			if !yield(key, s.valAt(Ref{Shard: i, Pos: pos})) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}

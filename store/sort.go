@@ -11,18 +11,36 @@ import (
 // worth the goroutine overhead.
 const sortSerialBelow = 1 << 13
 
-// parallelSort sorts a ascending using the runner's workers: each worker
-// sorts one contiguous run, then runs are merged pairwise in parallel
-// rounds. It uses one n-element scratch buffer; the build pipeline is the
-// only caller, so the transient allocation never touches the query path.
+// parallelSort sorts a ascending using the runner's workers. It is the
+// key-only fast path: serial leaves use the specialized slices.Sort.
 func parallelSort[T cmp.Ordered](r par.Runner, a []T) {
+	parallelSortRuns(r, a, slices.Sort[[]T, T], cmp.Less[T])
+}
+
+// parallelSortStable sorts a ascending by the comparison cmpf, stably:
+// elements that compare equal keep their input order. The build pipeline
+// uses it for key–value records, where stability is what makes the
+// duplicate-key policies (first/last occurrence wins) well defined.
+func parallelSortStable[E any](r par.Runner, a []E, cmpf func(E, E) int) {
+	parallelSortRuns(r, a,
+		func(run []E) { slices.SortStableFunc(run, cmpf) },
+		func(x, y E) bool { return cmpf(x, y) < 0 })
+}
+
+// parallelSortRuns is the shared engine: each worker sorts one contiguous
+// run with sortRun, then runs are merged pairwise in parallel rounds under
+// the order less. It uses one n-element scratch buffer; the build pipeline
+// is the only caller, so the transient allocation never touches the query
+// path. The merge keeps the left run on ties, so the whole sort is stable
+// whenever sortRun is.
+func parallelSortRuns[E any](r par.Runner, a []E, sortRun func([]E), less func(E, E) bool) {
 	n := len(a)
 	p := r.P()
 	if p > n {
 		p = n
 	}
 	if p <= 1 || n < sortSerialBelow {
-		slices.Sort(a)
+		sortRun(a)
 		return
 	}
 
@@ -32,7 +50,7 @@ func parallelSort[T cmp.Ordered](r par.Runner, a []T) {
 		bounds[i] = i * n / p
 	}
 	r.Tasks(p, func(i int, _ par.Runner) {
-		slices.Sort(a[bounds[i]:bounds[i+1]])
+		sortRun(a[bounds[i]:bounds[i+1]])
 	})
 
 	// Stage 2: merge runs pairwise until one remains, ping-ponging
@@ -40,7 +58,7 @@ func parallelSort[T cmp.Ordered](r par.Runner, a []T) {
 	// across the sub-runner it receives (co-ranking), so the rounds keep
 	// all workers busy even as the run count halves — without this the
 	// final whole-array merge would be a serial O(n) tail.
-	src, dst := a, make([]T, n)
+	src, dst := a, make([]E, n)
 	rounds := 0
 	for len(bounds)-1 > 1 {
 		runs := len(bounds) - 1
@@ -52,7 +70,7 @@ func parallelSort[T cmp.Ordered](r par.Runner, a []T) {
 				return
 			}
 			lo, mid, hi := bounds[2*t], bounds[2*t+1], bounds[2*t+2]
-			parallelMerge(sub, dst[lo:hi], src[lo:mid], src[mid:hi])
+			parallelMerge(sub, dst[lo:hi], src[lo:mid], src[mid:hi], less)
 		})
 		next := bounds[:0:0]
 		for i := 0; i < len(bounds); i += 2 {
@@ -78,42 +96,42 @@ const mergeSerialBelow = 1 << 12
 // runner's workers: the output is cut into P near-equal chunks, co-rank
 // binary searches find the matching split points in x and y, and each
 // worker merges its chunk independently.
-func parallelMerge[T cmp.Ordered](r par.Runner, dst, x, y []T) {
+func parallelMerge[E any](r par.Runner, dst, x, y []E, less func(E, E) bool) {
 	k := r.P()
 	if k > len(dst) {
 		k = len(dst)
 	}
 	if k <= 1 || len(dst) < mergeSerialBelow {
-		mergeRuns(dst, x, y)
+		mergeRuns(dst, x, y, less)
 		return
 	}
 	type cut struct{ i, j int }
 	cuts := make([]cut, k+1)
 	cuts[k] = cut{len(x), len(y)}
 	for w := 1; w < k; w++ {
-		i, j := coRank(w*len(dst)/k, x, y)
+		i, j := coRank(w*len(dst)/k, x, y, less)
 		cuts[w] = cut{i, j}
 	}
 	r.Tasks(k, func(w int, _ par.Runner) {
 		lo, hi := cuts[w], cuts[w+1]
-		mergeRuns(dst[lo.i+lo.j:hi.i+hi.j], x[lo.i:hi.i], y[lo.j:hi.j])
+		mergeRuns(dst[lo.i+lo.j:hi.i+hi.j], x[lo.i:hi.i], y[lo.j:hi.j], less)
 	})
 }
 
 // coRank returns the unique (i, j) with i+j == t such that merging x[:i]
 // and y[:j] yields the first t elements of the stable merge of x and y
-// (x wins ties, matching mergeRuns). Both slices must be sorted.
-func coRank[T cmp.Ordered](t int, x, y []T) (int, int) {
+// (x wins ties, matching mergeRuns). Both slices must be sorted by less.
+func coRank[E any](t int, x, y []E, less func(E, E) bool) (int, int) {
 	lo, hi := max(0, t-len(y)), min(t, len(x))
 	for {
 		i := int(uint(lo+hi) >> 1)
 		j := t - i
 		switch {
-		case j > 0 && i < len(x) && !cmp.Less(y[j-1], x[i]):
+		case j > 0 && i < len(x) && !less(y[j-1], x[i]):
 			// y[j-1] >= x[i]: x[i] precedes y[j-1] in merge order, so it
 			// belongs inside the prefix — i is too small.
 			lo = i + 1
-		case i > 0 && j < len(y) && cmp.Less(y[j], x[i-1]):
+		case i > 0 && j < len(y) && less(y[j], x[i-1]):
 			// x[i-1] follows y[j] in merge order — i is too big.
 			hi = i - 1
 		default:
@@ -123,13 +141,14 @@ func coRank[T cmp.Ordered](t int, x, y []T) (int, int) {
 }
 
 // mergeRuns merges the sorted runs x and y into dst, which must have
-// length len(x)+len(y). Comparison is cmp.Less, the order slices.Sort
-// produces for stage-1 runs, so the parallel path orders float NaNs
-// exactly like the serial slices.Sort path.
-func mergeRuns[T cmp.Ordered](dst, x, y []T) {
+// length len(x)+len(y). The left run wins ties, which preserves input
+// order across the contiguous stage-1 runs; for cmp.Ordered keys less is
+// cmp.Less, the order slices.Sort produces, so the parallel path orders
+// float NaNs exactly like the serial path.
+func mergeRuns[E any](dst, x, y []E, less func(E, E) bool) {
 	i, j, k := 0, 0, 0
 	for i < len(x) && j < len(y) {
-		if cmp.Less(y[j], x[i]) {
+		if less(y[j], x[i]) {
 			dst[k] = y[j]
 			j++
 		} else {

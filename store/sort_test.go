@@ -1,6 +1,7 @@
 package store
 
 import (
+	"cmp"
 	"math"
 	"math/rand"
 	"slices"
@@ -46,14 +47,14 @@ func TestCoRank(t *testing.T) {
 		slices.Sort(x)
 		slices.Sort(y)
 		full := make([]uint64, len(x)+len(y))
-		mergeRuns(full, x, y)
+		mergeRuns(full, x, y, cmp.Less)
 		for cut := 0; cut <= len(full); cut++ {
-			i, j := coRank(cut, x, y)
+			i, j := coRank(cut, x, y, cmp.Less)
 			if i+j != cut {
 				t.Fatalf("coRank(%d) = (%d, %d), sum != cut", cut, i, j)
 			}
 			prefix := make([]uint64, cut)
-			mergeRuns(prefix, x[:i], y[:j])
+			mergeRuns(prefix, x[:i], y[:j], cmp.Less)
 			if !slices.Equal(prefix, full[:cut]) {
 				t.Fatalf("coRank(%d) = (%d, %d): prefix %v != %v", cut, i, j, prefix, full[:cut])
 			}
@@ -78,9 +79,9 @@ func TestParallelMerge(t *testing.T) {
 			slices.Sort(x)
 			slices.Sort(y)
 			want := make([]uint64, n)
-			mergeRuns(want, x, y)
+			mergeRuns(want, x, y, cmp.Less)
 			got := make([]uint64, n)
-			parallelMerge(par.New(p), got, x, y)
+			parallelMerge(par.New(p), got, x, y, cmp.Less)
 			if !slices.Equal(got, want) {
 				t.Fatalf("n=%d p=%d: parallelMerge differs from mergeRuns", n, p)
 			}
@@ -123,11 +124,41 @@ func TestMergeRuns(t *testing.T) {
 	}
 	for _, c := range cases {
 		dst := make([]uint64, len(c.x)+len(c.y))
-		mergeRuns(dst, c.x, c.y)
+		mergeRuns(dst, c.x, c.y, cmp.Less)
 		want := append(slices.Clone(c.x), c.y...)
 		slices.Sort(want)
 		if !slices.Equal(dst, want) {
 			t.Fatalf("mergeRuns(%v, %v) = %v, want %v", c.x, c.y, dst, want)
+		}
+	}
+}
+
+// TestParallelSortStable: equal keys keep their input order across the
+// serial cutoff and worker counts — the property the duplicate-key
+// policies rely on.
+func TestParallelSortStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	type pair struct {
+		key uint64
+		seq int
+	}
+	for _, n := range []int{0, 1, 100, sortSerialBelow, 1<<15 + 77} {
+		for _, p := range []int{1, 3, 8} {
+			a := make([]pair, n)
+			for i := range a {
+				a[i] = pair{key: uint64(rng.Intn(n/16 + 1)), seq: i} // heavy duplication
+			}
+			parallelSortStable(par.New(p), a, func(x, y pair) int {
+				return cmp.Compare(x.key, y.key)
+			})
+			for i := 1; i < n; i++ {
+				if a[i-1].key > a[i].key {
+					t.Fatalf("n=%d p=%d: not sorted at %d", n, p, i)
+				}
+				if a[i-1].key == a[i].key && a[i-1].seq > a[i].seq {
+					t.Fatalf("n=%d p=%d: equal keys reordered at %d", n, p, i)
+				}
+			}
 		}
 	}
 }

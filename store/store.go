@@ -1,20 +1,25 @@
-// Package store is a read-optimized, sharded static index store built on
-// the paper's in-place layout permutations: the first serving-layer
-// subsystem on the road from "fast kernels" to "fast system".
+// Package store is a read-optimized, sharded static key–value store built
+// on the paper's in-place layout permutations: the serving-layer subsystem
+// on the road from "fast kernels" to "fast system".
 //
-// A Store owns its keys end to end. Build ingests an unsorted key set and
-// runs the parallel build pipeline — parallel merge sort, range partition
-// into shards, then perm.Permute of every shard concurrently into the
-// configured layout (vEB by default). Queries route through a fence-key
-// router (the first key of each shard, captured while the data is still
-// sorted) and run the layout's search kernel inside the owning shard;
-// GetBatch fans a query batch out over a bounded worker pool and reports
-// per-shard hit statistics.
+// A Store owns its records end to end. Build ingests unsorted key–value
+// pairs and runs the parallel build pipeline — stable parallel merge sort
+// by key, duplicate-key resolution, range partition into shards, then a
+// payload-carrying perm.PermuteWith of every shard concurrently into the
+// configured layout (vEB by default), so each value sits at the same
+// array position as its key. Queries route through a fence-key router
+// (the first key of each shard, captured while the data is still sorted)
+// and run the layout's search kernel inside the owning shard; Get returns
+// the stored value, GetBatch fans a query batch out over a bounded worker
+// pool and returns every value plus per-shard hit statistics, and Range
+// and Scan stream records in globally ascending key order by walking the
+// shards through their fence keys — without ever unpermuting.
 //
-// A built Store is immutable — snapshot semantics. Any number of reader
-// goroutines may share one Store with no synchronization, and Export
-// recovers the sorted key set via perm.Unpermute without disturbing the
-// servable shards.
+// Keys-only use is the Set alias (a Store with struct{} values) built by
+// BuildSet. A built Store is immutable — snapshot semantics. Any number
+// of reader goroutines may share one Store with no synchronization, and
+// Export recovers the sorted records via perm.UnpermuteWith without
+// disturbing the servable shards.
 package store
 
 import (
@@ -28,10 +33,46 @@ import (
 	"implicitlayout/search"
 )
 
+// DuplicatePolicy selects how Build resolves records with equal keys.
+// Resolution happens after the stable sort, so "first" and "last" refer
+// to input order.
+type DuplicatePolicy int
+
+const (
+	// KeepLast keeps, for each key, the value of its last occurrence in
+	// the input — the overwrite semantics of loading a map. The default.
+	KeepLast DuplicatePolicy = iota
+	// KeepFirst keeps the value of the first occurrence in the input.
+	KeepFirst
+	// KeepAll keeps every occurrence (multiset semantics). Get and
+	// GetBatch return the value of an unspecified occurrence of the key;
+	// Range, Scan, and Export yield all of them, equal keys in input
+	// order.
+	KeepAll
+	// Reject makes Build fail with an error naming the first duplicated
+	// key.
+	Reject
+)
+
+// String returns the policy name.
+func (d DuplicatePolicy) String() string {
+	switch d {
+	case KeepLast:
+		return "keep-last"
+	case KeepFirst:
+		return "keep-first"
+	case KeepAll:
+		return "keep-all"
+	case Reject:
+		return "reject"
+	}
+	return fmt.Sprintf("DuplicatePolicy(%d)", int(d))
+}
+
 // Config collects the build parameters; zero fields select defaults.
 type Config struct {
 	// Shards is the number of range partitions (default: GOMAXPROCS,
-	// clamped to the key count so no shard is empty).
+	// clamped to the record count so no shard is empty).
 	Shards int
 	// Layout is the per-shard memory layout (default layout.VEB).
 	Layout layout.Kind
@@ -44,6 +85,8 @@ type Config struct {
 	// Algorithm selects the permutation family (default perm.CycleLeader,
 	// the fastest on CPUs in the paper's measurements).
 	Algorithm perm.Algorithm
+	// Duplicates selects the duplicate-key policy (default KeepLast).
+	Duplicates DuplicatePolicy
 }
 
 // Option configures Build.
@@ -64,6 +107,9 @@ func WithWorkers(p int) Option { return func(c *Config) { c.Workers = p } }
 
 // WithAlgorithm selects the permutation family used by the build.
 func WithAlgorithm(a perm.Algorithm) Option { return func(c *Config) { c.Algorithm = a } }
+
+// WithDuplicates selects the duplicate-key policy (default KeepLast).
+func WithDuplicates(d DuplicatePolicy) Option { return func(c *Config) { c.Duplicates = d } }
 
 func buildConfig(n int, opts []Option) Config {
 	c := Config{Layout: layout.VEB, B: perm.DefaultB, Algorithm: perm.CycleLeader}
@@ -89,33 +135,59 @@ func buildConfig(n int, opts []Option) Config {
 }
 
 // shard is one range partition: a laid-out slice of the store's backing
-// array plus its offset in sorted order.
-type shard[T cmp.Ordered] struct {
-	idx *search.Index[T]
+// key array plus its offset in sorted order. Values are not stored here —
+// the value of the key at shard-local position p lives at the same
+// backing-array position, vals[off+p], because PermuteWith moved both
+// arrays by the same permutation.
+type shard[K cmp.Ordered] struct {
+	idx *search.Index[K]
 	off int // global sorted rank of the shard's first key
 }
 
-// Store is an immutable sharded index over a static key set. It is safe
-// for concurrent use by any number of reader goroutines.
-type Store[T cmp.Ordered] struct {
+// Store is an immutable sharded key–value index over a static record set.
+// It is safe for concurrent use by any number of reader goroutines. V may
+// be any type; a keys-only Store (the Set alias) carries no value array
+// at all.
+type Store[K cmp.Ordered, V any] struct {
 	cfg    Config
-	keys   []T // backing array, shards laid out back to back
-	shards []shard[T]
-	fences []T // fences[i] = smallest key of shard i (sorted ascending)
+	keys   []K // backing array, shards laid out back to back
+	vals   []V // vals[i] is the payload of keys[i]; nil for keys-only stores
+	shards []shard[K]
+	fences []K // fences[i] = smallest key of shard i (sorted ascending)
 }
 
-// Build ingests keys (in any order, duplicates allowed), runs the
-// parallel build pipeline, and returns the immutable Store. The input
-// slice is copied, never mutated.
+// Set is a keys-only Store: the value type is struct{} and no value
+// array is allocated. It is the PR 1 key-set API under the record store.
+type Set[K cmp.Ordered] = Store[K, struct{}]
+
+// rec pairs a key with its value for the build-time stable sort.
+type rec[K, V any] struct {
+	key K
+	val V
+}
+
+// Build ingests parallel slices of keys and values (in any order;
+// vals[i] is the payload of keys[i]), runs the parallel build pipeline,
+// and returns the immutable Store. Both input slices are copied, never
+// mutated. A nil vals builds a keys-only store (see BuildSet); otherwise
+// len(vals) must equal len(keys).
+//
+// Records with equal keys are resolved by the configured
+// DuplicatePolicy, KeepLast by default: for each key the value of its
+// last occurrence in the input wins, like loading a map.
 //
 // Keys must be totally ordered by <. Floating-point key sets containing
 // NaN sort deterministically (NaNs first, as slices.Sort orders them)
 // and Export stays correct, but the layout query kernels compare with <
 // like every searcher in this repository, so queries touching a shard
-// that holds a NaN are undefined — filter NaNs out upstream.
-func Build[T cmp.Ordered](keys []T, opts ...Option) (*Store[T], error) {
+// that holds a NaN are undefined — filter NaNs out upstream. Duplicate
+// resolution compares with ==, which never merges NaNs.
+func Build[K cmp.Ordered, V any](keys []K, vals []V, opts ...Option) (*Store[K, V], error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("store: cannot build from an empty key set")
+	}
+	if vals != nil && len(vals) != len(keys) {
+		return nil, fmt.Errorf("store: %d keys but %d values", len(keys), len(vals))
 	}
 	c := buildConfig(len(keys), opts)
 	switch c.Layout {
@@ -123,64 +195,153 @@ func Build[T cmp.Ordered](keys []T, opts ...Option) (*Store[T], error) {
 	default:
 		return nil, fmt.Errorf("store: unknown layout %v", c.Layout)
 	}
-	owned := make([]T, len(keys))
-	copy(owned, keys)
+	switch c.Duplicates {
+	case KeepLast, KeepFirst, KeepAll, Reject:
+	default:
+		return nil, fmt.Errorf("store: unknown duplicate policy %v", c.Duplicates)
+	}
+	ownedK := make([]K, len(keys))
+	copy(ownedK, keys)
+	var ownedV []V
+	if vals != nil {
+		ownedV = make([]V, len(vals))
+		copy(ownedV, vals)
+	}
 
 	runner := par.New(c.Workers)
 
-	// Stage 1: parallel sort of the full key set.
-	parallelSort(runner, owned)
+	// Stage 1: parallel sort of the full record set. Keys-only stores
+	// take the specialized key sort; records zip through a transient pair
+	// array so the stable sort moves each value with its key. (The pair
+	// array, like the sort's scratch buffer, exists only during Build.)
+	if ownedV == nil {
+		parallelSort(runner, ownedK)
+	} else {
+		recs := make([]rec[K, V], len(ownedK))
+		for i := range recs {
+			recs[i] = rec[K, V]{key: ownedK[i], val: ownedV[i]}
+		}
+		parallelSortStable(runner, recs, func(a, b rec[K, V]) int {
+			return cmp.Compare(a.key, b.key)
+		})
+		for i := range recs {
+			ownedK[i], ownedV[i] = recs[i].key, recs[i].val
+		}
+	}
 
-	// Stage 2: range partition. Equal-size index ranges of the sorted
+	// Stage 2: duplicate resolution on the sorted records. The stable
+	// sort left equal keys in input order, so first/last occurrence is
+	// first/last of each equal run.
+	switch c.Duplicates {
+	case Reject:
+		for i := 1; i < len(ownedK); i++ {
+			if ownedK[i] == ownedK[i-1] {
+				return nil, fmt.Errorf("store: duplicate key %v", ownedK[i])
+			}
+		}
+	case KeepFirst, KeepLast:
+		ownedK, ownedV = dedupe(ownedK, ownedV, c.Duplicates == KeepLast)
+	}
+	n := len(ownedK)
+	if c.Shards > n {
+		c.Shards = n // dedupe may have shrunk below the requested count
+	}
+
+	// Stage 3: range partition. Equal-size index ranges of the sorted
 	// array are contiguous key ranges, so the partition is by key range
 	// with near-perfect balance; fences are read off before the layout
 	// permutation destroys sorted order.
-	s := &Store[T]{cfg: c, keys: owned}
-	s.shards = make([]shard[T], c.Shards)
-	s.fences = make([]T, c.Shards)
-	n := len(owned)
+	s := &Store[K, V]{cfg: c, keys: ownedK, vals: ownedV}
+	s.shards = make([]shard[K], c.Shards)
+	s.fences = make([]K, c.Shards)
 	for i := 0; i < c.Shards; i++ {
 		lo, hi := i*n/c.Shards, (i+1)*n/c.Shards
-		s.shards[i] = shard[T]{off: lo, idx: search.NewIndex(owned[lo:hi:hi], c.Layout, c.B)}
-		s.fences[i] = owned[lo]
+		s.shards[i] = shard[K]{off: lo, idx: search.NewIndex(ownedK[lo:hi:hi], c.Layout, c.B)}
+		s.fences[i] = ownedK[lo]
 	}
 
-	// Stage 3: permute every shard into its layout concurrently. Each
-	// shard task inherits a disjoint slice of the worker budget, so total
-	// build parallelism stays bounded by c.Workers.
+	// Stage 4: permute every shard into its layout concurrently, values
+	// riding the same permutation as their keys. Each shard task inherits
+	// a disjoint slice of the worker budget, so total build parallelism
+	// stays bounded by c.Workers.
 	runner.Tasks(c.Shards, func(i int, sub par.Runner) {
 		lo, hi := i*n/c.Shards, (i+1)*n/c.Shards
-		perm.Permute(owned[lo:hi], c.Layout, c.Algorithm,
-			perm.WithWorkers(sub.P()), perm.WithB(c.B))
+		if ownedV == nil {
+			perm.Permute(ownedK[lo:hi], c.Layout, c.Algorithm,
+				perm.WithWorkers(sub.P()), perm.WithB(c.B))
+		} else {
+			perm.PermuteWith(ownedK[lo:hi], ownedV[lo:hi], c.Layout, c.Algorithm,
+				perm.WithWorkers(sub.P()), perm.WithB(c.B))
+		}
 	})
 	return s, nil
 }
 
-// Len returns the number of keys (including duplicates).
-func (s *Store[T]) Len() int { return len(s.keys) }
+// BuildSet builds a keys-only store — the PR 1 key-set pipeline. All
+// Options apply; the duplicate policy defaults to KeepLast, so a Set
+// deduplicates like a set unless WithDuplicates(KeepAll) asks for
+// multiset behavior.
+func BuildSet[K cmp.Ordered](keys []K, opts ...Option) (*Set[K], error) {
+	return Build[K, struct{}](keys, nil, opts...)
+}
+
+// dedupe compacts equal-key runs of the sorted records in place, keeping
+// the first element of each run (or the last, when keepLast). vals may be
+// nil.
+func dedupe[K cmp.Ordered, V any](keys []K, vals []V, keepLast bool) ([]K, []V) {
+	w := 0
+	for i := range keys {
+		if w > 0 && keys[i] == keys[w-1] {
+			if keepLast && vals != nil {
+				vals[w-1] = vals[i]
+			}
+			continue
+		}
+		keys[w] = keys[i]
+		if vals != nil {
+			vals[w] = vals[i]
+		}
+		w++
+	}
+	if vals == nil {
+		return keys[:w], nil
+	}
+	return keys[:w], vals[:w]
+}
+
+// Len returns the number of records the store serves (after duplicate
+// resolution).
+func (s *Store[K, V]) Len() int { return len(s.keys) }
+
+// HasValues reports whether the store carries value payloads; a Set
+// built by BuildSet does not.
+func (s *Store[K, V]) HasValues() bool { return s.vals != nil }
 
 // Shards returns the shard count.
-func (s *Store[T]) Shards() int { return len(s.shards) }
+func (s *Store[K, V]) Shards() int { return len(s.shards) }
 
 // Layout returns the per-shard layout kind.
-func (s *Store[T]) Layout() layout.Kind { return s.cfg.Layout }
+func (s *Store[K, V]) Layout() layout.Kind { return s.cfg.Layout }
 
 // B returns the B-tree node capacity shards were built with.
-func (s *Store[T]) B() int { return s.cfg.B }
+func (s *Store[K, V]) B() int { return s.cfg.B }
+
+// Duplicates returns the duplicate-key policy the store was built with.
+func (s *Store[K, V]) Duplicates() DuplicatePolicy { return s.cfg.Duplicates }
 
 // Fences returns the router's fence keys: Fences()[i] is the smallest key
 // of shard i. The result is a copy and ascends.
-func (s *Store[T]) Fences() []T {
-	f := make([]T, len(s.fences))
+func (s *Store[K, V]) Fences() []K {
+	f := make([]K, len(s.fences))
 	copy(f, s.fences)
 	return f
 }
 
-// ShardLen returns the number of keys in shard i.
-func (s *Store[T]) ShardLen(i int) int { return s.shards[i].idx.Len() }
+// ShardLen returns the number of records in shard i.
+func (s *Store[K, V]) ShardLen(i int) int { return s.shards[i].idx.Len() }
 
 // route returns the shard that would hold x: the largest i with
 // fences[i] <= x, or -1 when x precedes every key in the store.
-func (s *Store[T]) route(x T) int {
+func (s *Store[K, V]) route(x K) int {
 	return search.PredecessorBinary(s.fences, x)
 }

@@ -25,8 +25,8 @@ func shuffledOdd(n int, seed int64) []uint64 {
 
 var allKinds = []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB}
 
-// TestRoundTrip is the acceptance property: for every layout kind and
-// shard count in {1, 4, 16}, building from a shuffled key set then
+// TestRoundTrip is the key-set acceptance property: for every layout kind
+// and shard count in {1, 4, 16}, building from a shuffled key set then
 // querying every member hits, every non-member misses, GetBatch with
 // p in {1, 8} matches the serial counts, and Export restores sorted
 // order. Run under -race it also exercises the concurrent build and the
@@ -36,7 +36,7 @@ func TestRoundTrip(t *testing.T) {
 	keys := shuffledOdd(n, 7)
 	for _, kind := range allKinds {
 		for _, shards := range []int{1, 4, 16} {
-			st, err := store.Build(keys,
+			st, err := store.BuildSet(keys,
 				store.WithLayout(kind), store.WithShards(shards), store.WithWorkers(8))
 			if err != nil {
 				t.Fatalf("%v/%d: Build: %v", kind, shards, err)
@@ -44,13 +44,19 @@ func TestRoundTrip(t *testing.T) {
 			if st.Shards() != shards || st.Len() != n {
 				t.Fatalf("%v/%d: got %d shards, %d keys", kind, shards, st.Shards(), st.Len())
 			}
+			if st.HasValues() {
+				t.Fatalf("%v/%d: key set claims to carry values", kind, shards)
+			}
 
 			// Every member hits, at a Ref that reads back the key.
 			for i := 0; i < n; i++ {
 				x := uint64(2*i + 1)
-				ref, ok := st.Get(x)
-				if !ok || st.At(ref) != x {
-					t.Fatalf("%v/%d: Get(%d) = %+v, %v", kind, shards, x, ref, ok)
+				ref, ok := st.GetRef(x)
+				if !ok {
+					t.Fatalf("%v/%d: GetRef(%d) missed", kind, shards, x)
+				}
+				if key, _ := st.At(ref); key != x {
+					t.Fatalf("%v/%d: At(%+v) = %d, want %d", kind, shards, ref, key, x)
 				}
 			}
 			// Non-members (evens, below-range, above-range) miss.
@@ -72,11 +78,19 @@ func TestRoundTrip(t *testing.T) {
 			if serial.Hits != n || serial.Queries != 2*n {
 				t.Fatalf("%v/%d: serial batch = %d/%d hits", kind, shards, serial.Hits, serial.Queries)
 			}
+			for qi, q := range queries {
+				if serial.Found[qi] != (q%2 == 1) {
+					t.Fatalf("%v/%d: Found[%d] = %v for query %d", kind, shards, qi, serial.Found[qi], q)
+				}
+			}
 			for _, p := range []int{1, 8} {
 				got := st.GetBatch(queries, p)
 				if got.Hits != serial.Hits || got.Queries != serial.Queries {
 					t.Fatalf("%v/%d p=%d: batch = %d/%d, want %d/%d",
 						kind, shards, p, got.Hits, got.Queries, serial.Hits, serial.Queries)
+				}
+				if !slices.Equal(got.Found, serial.Found) {
+					t.Fatalf("%v/%d p=%d: Found diverges from serial", kind, shards, p)
 				}
 				if len(got.Shards) != shards {
 					t.Fatalf("%v/%d p=%d: %d shard stats", kind, shards, p, len(got.Shards))
@@ -90,7 +104,10 @@ func TestRoundTrip(t *testing.T) {
 			}
 
 			// Export inverts the build: ascending sorted order, all keys.
-			out := st.Export()
+			out, noVals := st.Export()
+			if noVals != nil {
+				t.Fatalf("%v/%d: key set exported values", kind, shards)
+			}
 			if !slices.IsSorted(out) || len(out) != n || out[0] != 1 || out[n-1] != uint64(2*n-1) {
 				t.Fatalf("%v/%d: Export not the sorted key set", kind, shards)
 			}
@@ -102,7 +119,7 @@ func TestRoundTrip(t *testing.T) {
 // in exactly one shard and the shard totals reconstruct the aggregate.
 func TestShardStatsAccount(t *testing.T) {
 	const n = 1 << 12
-	st, err := store.Build(shuffledOdd(n, 3),
+	st, err := store.BuildSet(shuffledOdd(n, 3),
 		store.WithShards(4), store.WithLayout(layout.BTree), store.WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
@@ -135,7 +152,7 @@ func TestShardStatsAccount(t *testing.T) {
 func TestPredecessor(t *testing.T) {
 	const n = 1 << 10
 	for _, kind := range allKinds {
-		st, err := store.Build(shuffledOdd(n, 5),
+		st, err := store.BuildSet(shuffledOdd(n, 5),
 			store.WithShards(8), store.WithLayout(kind), store.WithWorkers(4))
 		if err != nil {
 			t.Fatal(err)
@@ -148,9 +165,13 @@ func TestPredecessor(t *testing.T) {
 		for i := 0; i < n; i++ {
 			odd := uint64(2*i + 1)
 			for q, want := range map[uint64]uint64{odd: odd, odd + 1: odd} {
-				key, ref, ok := st.Predecessor(q)
-				if !ok || key != want || st.At(ref) != want {
+				key, _, ok := st.Predecessor(q)
+				if !ok || key != want {
 					t.Fatalf("%v: Predecessor(%d) = %d, %v; want %d", kind, q, key, ok, want)
+				}
+				ref, ok := st.PredecessorRef(q)
+				if atKey, _ := st.At(ref); !ok || atKey != want {
+					t.Fatalf("%v: PredecessorRef(%d) resolves to %d, want %d", kind, q, atKey, want)
 				}
 			}
 		}
@@ -161,7 +182,7 @@ func TestPredecessor(t *testing.T) {
 // is the smallest key of its shard, so GlobalOffset ranks are consistent.
 func TestFences(t *testing.T) {
 	const n = 1000
-	st, err := store.Build(shuffledOdd(n, 9), store.WithShards(16), store.WithWorkers(2))
+	st, err := store.BuildSet(shuffledOdd(n, 9), store.WithShards(16), store.WithWorkers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,13 +205,18 @@ func TestFences(t *testing.T) {
 	}
 }
 
-// TestDuplicatesAndTinyStores covers duplicate keys straddling shard
-// boundaries and stores smaller than the requested shard count.
+// TestDuplicatesAndTinyStores covers multiset (KeepAll) duplicate keys
+// straddling shard boundaries and stores smaller than the requested
+// shard count.
 func TestDuplicatesAndTinyStores(t *testing.T) {
 	dup := []uint64{5, 5, 5, 5, 9, 9, 1, 1, 1, 13}
-	st, err := store.Build(dup, store.WithShards(4), store.WithLayout(layout.BST))
+	st, err := store.BuildSet(dup, store.WithShards(4), store.WithLayout(layout.BST),
+		store.WithDuplicates(store.KeepAll))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if st.Len() != len(dup) {
+		t.Fatalf("KeepAll store has %d keys, want %d", st.Len(), len(dup))
 	}
 	for _, x := range []uint64{1, 5, 9, 13} {
 		if !st.Contains(x) {
@@ -202,11 +228,11 @@ func TestDuplicatesAndTinyStores(t *testing.T) {
 			t.Fatalf("Contains(%d) = true", x)
 		}
 	}
-	if got := st.Export(); !slices.Equal(got, []uint64{1, 1, 1, 5, 5, 5, 5, 9, 9, 13}) {
+	if got, _ := st.Export(); !slices.Equal(got, []uint64{1, 1, 1, 5, 5, 5, 5, 9, 9, 13}) {
 		t.Fatalf("Export = %v", got)
 	}
 
-	tiny, err := store.Build([]uint64{42, 7}, store.WithShards(16))
+	tiny, err := store.BuildSet([]uint64{42, 7}, store.WithShards(16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +243,7 @@ func TestDuplicatesAndTinyStores(t *testing.T) {
 		t.Fatal("tiny store queries wrong")
 	}
 
-	if _, err := store.Build([]uint64{}); err == nil {
+	if _, err := store.BuildSet([]uint64{}); err == nil {
 		t.Fatal("Build of empty key set should fail")
 	}
 }
@@ -226,7 +252,7 @@ func TestDuplicatesAndTinyStores(t *testing.T) {
 // disturbing the original.
 func TestRebuild(t *testing.T) {
 	const n = 4096
-	st, err := store.Build(shuffledOdd(n, 11),
+	st, err := store.BuildSet(shuffledOdd(n, 11),
 		store.WithShards(4), store.WithLayout(layout.VEB), store.WithWorkers(4))
 	if err != nil {
 		t.Fatal(err)
@@ -252,11 +278,19 @@ func TestRebuild(t *testing.T) {
 func TestBuildDoesNotMutateInput(t *testing.T) {
 	keys := shuffledOdd(1<<13, 13)
 	saved := slices.Clone(keys)
-	if _, err := store.Build(keys, store.WithShards(4), store.WithWorkers(8)); err != nil {
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = keys[i] * 3
+	}
+	savedVals := slices.Clone(vals)
+	if _, err := store.Build(keys, vals, store.WithShards(4), store.WithWorkers(8)); err != nil {
 		t.Fatal(err)
 	}
 	if !slices.Equal(keys, saved) {
-		t.Fatal("Build mutated its input slice")
+		t.Fatal("Build mutated its keys slice")
+	}
+	if !slices.Equal(vals, savedVals) {
+		t.Fatal("Build mutated its vals slice")
 	}
 }
 
@@ -266,12 +300,12 @@ func TestAlgorithmFamiliesAgree(t *testing.T) {
 	const n = 2048
 	keys := shuffledOdd(n, 17)
 	for _, kind := range []layout.Kind{layout.BST, layout.BTree, layout.VEB} {
-		a, err := store.Build(keys, store.WithLayout(kind), store.WithShards(4),
+		a, err := store.BuildSet(keys, store.WithLayout(kind), store.WithShards(4),
 			store.WithAlgorithm(perm.Involution))
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := store.Build(keys, store.WithLayout(kind), store.WithShards(4),
+		b, err := store.BuildSet(keys, store.WithLayout(kind), store.WithShards(4),
 			store.WithAlgorithm(perm.CycleLeader))
 		if err != nil {
 			t.Fatal(err)
