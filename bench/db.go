@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"implicitlayout/layout"
+	"implicitlayout/store"
+)
+
+// DBConfig parameterizes the writable-store mixed-workload benchmark:
+// concurrent clients issue an interleaved stream of Puts and Gets
+// against one DB while its background compactor flushes and merges.
+type DBConfig struct {
+	// LogN is the preloaded record count exponent (2^LogN records).
+	LogN int
+	// Ops is the number of timed operations per measurement, split
+	// evenly across the client goroutines.
+	Ops int
+	// WriteFrac is the fraction of operations that are Puts; the rest
+	// are Gets spread over twice the preloaded key range (so roughly
+	// half the reads hit).
+	WriteFrac float64
+	// MemLimit and Fanout configure the DB (zero selects the store
+	// defaults).
+	MemLimit, Fanout int
+	// B is the B-tree node capacity for B-tree run layouts.
+	B int
+	// Layouts and Workers span the measured grid; Workers counts client
+	// goroutines, not build parallelism.
+	Layouts []layout.Kind
+	Workers []int
+	// Trials is the number of timed repetitions per cell (each on a
+	// freshly preloaded DB).
+	Trials int
+	// Seed drives the preload and the per-client operation streams.
+	Seed int64
+}
+
+// DBThroughput measures the writable store under a mixed read/write
+// workload: per layout x client count, a DB is preloaded with 2^LogN
+// records and flushed into runs, then the clients hammer it with the
+// configured Put/Get mix while compaction runs in the background. Every
+// Get that hits is verified against the key-derived payload. The
+// closing columns report the DB's shape after the run — how many runs
+// and levels the write stream left behind.
+func DBThroughput(c DBConfig) *Table {
+	n := 1 << c.LogN
+	t := &Table{
+		Title: fmt.Sprintf("store/db: mixed workload, N=2^%d preloaded, %d ops, %.0f%% writes",
+			c.LogN, c.Ops, 100*c.WriteFrac),
+		Note: fmt.Sprintf("clients split the op stream; background compaction on; "+
+			"memlimit=%d fanout=%d b=%d trials=%d", c.MemLimit, c.Fanout, c.B, c.Trials),
+		Header: []string{"layout", "clients", "Mop/s", "ns/op", "hit%", "runs", "max_level"},
+	}
+	for _, kind := range c.Layouts {
+		for _, clients := range c.Workers {
+			var db *store.DB[uint64, uint64]
+			var hits int64
+			prep := func() {
+				if db != nil {
+					db.Close()
+				}
+				var err error
+				db, err = store.NewDB[uint64, uint64](store.DBConfig{
+					MemLimit: c.MemLimit, Fanout: c.Fanout,
+					Store: []store.Option{store.WithLayout(kind), store.WithB(c.B)},
+				})
+				if err != nil {
+					panic("bench: " + err.Error())
+				}
+				for i := 0; i < n; i++ {
+					k := uint64(i)
+					db.Put(k, k^storeValMagic)
+				}
+				db.Flush()
+			}
+			d := timeIt(c.Trials, prep, func() {
+				hits = runMixed(db, c, clients, n)
+			})
+			st := db.Stats()
+			maxLevel := 0
+			for _, lvl := range st.RunLevels {
+				maxLevel = max(maxLevel, lvl)
+			}
+			ops := float64(c.Ops)
+			reads := float64(c.Ops) * (1 - c.WriteFrac)
+			hitPct := 0.0
+			if reads > 0 {
+				hitPct = 100 * float64(hits) / reads
+			}
+			db.Close()
+			db = nil
+			t.AddRow(
+				kind.String(),
+				fmt.Sprint(clients),
+				fmt.Sprintf("%.2f", ops/d.Seconds()/1e6),
+				fmt.Sprintf("%.0f", float64(d.Nanoseconds())/ops),
+				fmt.Sprintf("%.1f", hitPct),
+				fmt.Sprint(st.Runs()),
+				fmt.Sprint(maxLevel),
+			)
+		}
+	}
+	return t
+}
+
+// runMixed fires c.Ops operations at db from the given number of client
+// goroutines and returns the read hit count. Writes always store the
+// key-derived payload, so every hit is verifiable no matter which client
+// wrote it or whether the version came from the memtable or a run.
+func runMixed(db *store.DB[uint64, uint64], c DBConfig, clients, n int) int64 {
+	if clients < 1 {
+		clients = 1
+	}
+	per := c.Ops / clients
+	var wg sync.WaitGroup
+	hitsBy := make([]int64, clients)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(c.Seed + int64(w) + 1))
+			var hits int64
+			for i := 0; i < per; i++ {
+				if rng.Float64() < c.WriteFrac {
+					k := uint64(rng.Intn(n))
+					db.Put(k, k^storeValMagic)
+				} else {
+					k := uint64(rng.Intn(2 * n)) // ~half the reads miss
+					if v, ok := db.Get(k); ok {
+						if v != k^storeValMagic {
+							panic(fmt.Sprintf("bench: db returned wrong value %d for key %d", v, k))
+						}
+						hits++
+					}
+				}
+			}
+			hitsBy[w] = hits
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, h := range hitsBy {
+		total += h
+	}
+	return total
+}

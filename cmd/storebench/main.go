@@ -1,14 +1,26 @@
-// Command storebench measures the sharded key–value store serving layer:
+// Command storebench measures the store serving layers.
+//
+// The default (read-only) mode benchmarks the static sharded store:
 // parallel build-pipeline time and GetBatch query throughput (aggregate
 // and busiest-shard, with returned values verified) across the grid of
-// layouts, shard counts, and query worker counts. With -json the table
-// is also written as machine-readable JSON (BENCH_store.json-style) so
-// CI can archive and trend the perf trajectory.
+// layouts, shard counts, and query worker counts.
+//
+// With -writes F (0 < F <= 1) it switches to the mixed-workload mode and
+// benchmarks the writable DB instead: concurrent clients issue an
+// interleaved stream of F·ops Puts and (1-F)·ops verified Gets against a
+// preloaded DB while the background compactor flushes and merges, and
+// the table reports per-cell throughput plus the run/level shape the
+// write stream left behind.
+//
+// In both modes -json writes the table as machine-readable JSON
+// (BENCH_store.json-style) so CI can archive and trend the perf
+// trajectory.
 //
 // Examples:
 //
 //	storebench -logn 22 -q 1000000 -shards 1,4,16 -workers 1,8 -layouts veb,btree
 //	storebench -logn 20 -trials 1 -json BENCH_store.json
+//	storebench -writes 0.2 -logn 20 -ops 1000000 -workers 1,4,8 -json BENCH_db.json
 package main
 
 import (
@@ -24,26 +36,45 @@ import (
 
 func main() {
 	logN := flag.Int("logn", 22, "key count exponent (2^logn keys)")
-	q := flag.Int("q", 1_000_000, "queries per measurement")
+	q := flag.Int("q", 1_000_000, "queries per measurement (read-only mode)")
 	b := flag.Int("b", 8, "B-tree node capacity")
-	hitFrac := flag.Float64("hitfrac", 0.5, "expected fraction of present-key queries")
-	shards := flag.String("shards", "1,4,16", "comma-separated shard counts")
-	workers := flag.String("workers", "1,4,8", "comma-separated query worker counts")
+	hitFrac := flag.Float64("hitfrac", 0.5, "expected fraction of present-key queries (read-only mode)")
+	shards := flag.String("shards", "1,4,16", "comma-separated shard counts (read-only mode)")
+	workers := flag.String("workers", "1,4,8", "comma-separated worker counts (query workers, or -writes clients)")
 	layouts := flag.String("layouts", "veb,btree,bst,sorted", "comma-separated layouts")
 	trials := flag.Int("trials", 3, "timed repetitions per cell")
 	seed := flag.Int64("seed", 1, "key shuffle and query generator seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	jsonPath := flag.String("json", "",
 		"write the table as machine-readable JSON to this file (\"-\" for stdout)")
+	writes := flag.Float64("writes", 0,
+		"mixed-workload mode: fraction of operations that are Puts (0 = read-only static store)")
+	ops := flag.Int("ops", 1_000_000, "operations per measurement (mixed-workload mode)")
+	memLimit := flag.Int("memlimit", 0, "DB memtable flush threshold (mixed-workload mode; 0 = default)")
+	fanout := flag.Int("fanout", 0, "DB runs per level before merging (mixed-workload mode; 0 = default)")
 	flag.Parse()
 
-	t := bench.StoreThroughput(bench.StoreConfig{
-		LogN: *logN, Q: *q, B: *b, HitFrac: *hitFrac,
-		Layouts: parseLayouts(*layouts),
-		Shards:  parseInts(*shards),
-		Workers: parseInts(*workers),
-		Trials:  *trials, Seed: *seed,
-	})
+	if *writes < 0 || *writes > 1 {
+		fatalf("-writes %v outside [0, 1]", *writes)
+	}
+	var t *bench.Table
+	if *writes > 0 {
+		t = bench.DBThroughput(bench.DBConfig{
+			LogN: *logN, Ops: *ops, WriteFrac: *writes,
+			MemLimit: *memLimit, Fanout: *fanout, B: *b,
+			Layouts: parseLayouts(*layouts),
+			Workers: parseInts(*workers),
+			Trials:  *trials, Seed: *seed,
+		})
+	} else {
+		t = bench.StoreThroughput(bench.StoreConfig{
+			LogN: *logN, Q: *q, B: *b, HitFrac: *hitFrac,
+			Layouts: parseLayouts(*layouts),
+			Shards:  parseInts(*shards),
+			Workers: parseInts(*workers),
+			Trials:  *trials, Seed: *seed,
+		})
+	}
 	if *jsonPath == "-" {
 		// JSON owns stdout; no text table alongside it.
 		if err := t.JSON(os.Stdout); err != nil {

@@ -9,7 +9,10 @@
 // The repository treats layouts as indexes over key–value records, not
 // bare key sets: perm.PermuteWith moves a value slice by the exact same
 // permutation as its keys, search iterates records in sorted order
-// directly over any layout, and store serves sharded key–value snapshots.
+// directly over any layout, and store serves key–value records — as
+// immutable sharded snapshots (Store) and as a writable LSM-style store
+// (DB) whose flushes and compactions are the paper's parallel
+// construction run again and again.
 //
 // Public API:
 //
@@ -20,14 +23,20 @@
 //     (PermuteWith/UnpermuteWith);
 //   - search: queries on every layout — exact, predecessor, successor,
 //     rank access, and ordered Range/Scan iteration without unpermuting;
-//   - store:  sharded static key–value store — parallel build pipeline
-//     (stable sort, duplicate-key resolution, range partition, concurrent
-//     payload-carrying permute) plus a concurrent, batched query engine
-//     with value-returning Get/GetBatch, cross-shard ordered Range/Scan
-//     streaming, and snapshot semantics (Set is the keys-only alias);
+//   - store:  the serving layer. Store is the static sharded key–value
+//     snapshot — parallel build pipeline (stable sort, duplicate-key
+//     resolution, range partition, concurrent payload-carrying permute)
+//     plus a concurrent, batched query engine with value-returning
+//     Get/GetBatch and cross-shard ordered Range/Scan streaming (Set is
+//     the keys-only alias). DB is the writable store on top: memtable
+//     Put/Delete with tombstones, background flush into leveled
+//     implicit-layout runs, tiered compaction, and atomic-snapshot reads
+//     that never block on writers;
 //   - bench:  experiment runners for the paper's tables and figures and
-//     the store serving benchmarks (text, CSV, and JSON output).
+//     the store serving benchmarks, read-only and mixed read/write
+//     (text, CSV, and JSON output).
 //
-// See README.md for a tour, quickstart, and the migration note from the
-// PR 1 key-set store API.
+// See README.md for a tour and quickstart, and ARCHITECTURE.md for the
+// layer diagram, the build and Put→flush→compact data flows, and the
+// snapshot/epoch semantics.
 package implicitlayout

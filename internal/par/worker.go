@@ -1,0 +1,63 @@
+package par
+
+import "sync"
+
+// Worker is the background-goroutine lifecycle used by long-lived
+// maintenance loops (the store's DB compactor): one goroutine that runs a
+// drain function whenever kicked, with kick coalescing and a synchronous
+// shutdown. It complements the fork-join Runner — Runner structures the
+// parallelism *inside* one burst of work, Worker decides *when* a burst
+// runs without blocking the caller.
+//
+// Kick is cheap, non-blocking, and safe from any goroutine; kicks that
+// arrive while the drain function is running coalesce into at most one
+// pending re-run, so the drain function must itself loop until no work
+// remains. Close stops the goroutine after any in-flight run completes
+// and then waits for it to exit; kicks after Close are no-ops.
+type Worker struct {
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewWorker spawns the background goroutine and returns its handle. fn is
+// only ever invoked from that one goroutine, so it needs no internal
+// locking against itself.
+func NewWorker(fn func()) *Worker {
+	w := &Worker{
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(w.done)
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-w.kick:
+				fn()
+			}
+		}
+	}()
+	return w
+}
+
+// Kick schedules one run of the drain function. It never blocks: if a run
+// is already pending the kick coalesces with it.
+func (w *Worker) Kick() {
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the worker after any in-flight run completes and waits for
+// the goroutine to exit. A pending coalesced kick is dropped, not drained
+// — callers that need the last burst of work done run it synchronously
+// before (or after) closing. Close is idempotent.
+func (w *Worker) Close() {
+	w.once.Do(func() { close(w.stop) })
+	<-w.done
+}

@@ -1,0 +1,91 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkerRunsOnKick(t *testing.T) {
+	var runs atomic.Int64
+	ran := make(chan struct{}, 16)
+	w := NewWorker(func() {
+		runs.Add(1)
+		ran <- struct{}{}
+	})
+	defer w.Close()
+
+	w.Kick()
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never ran after Kick")
+	}
+	if runs.Load() < 1 {
+		t.Fatalf("runs = %d, want >= 1", runs.Load())
+	}
+}
+
+func TestWorkerCoalescesKicks(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 16)
+	var runs atomic.Int64
+	w := NewWorker(func() {
+		started <- struct{}{}
+		<-block
+		runs.Add(1)
+	})
+
+	w.Kick()
+	<-started // first run is in flight
+	for i := 0; i < 100; i++ {
+		w.Kick() // all of these coalesce into at most one pending run
+	}
+	block <- struct{}{} // finish run 1
+	select {
+	case <-started: // the coalesced rerun
+		block <- struct{}{}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coalesced kick never ran")
+	}
+	w.Close()
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("runs = %d, want exactly 2 (1 in-flight + 1 coalesced)", got)
+	}
+}
+
+func TestWorkerCloseWaitsForInFlight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var finished atomic.Bool
+	w := NewWorker(func() {
+		close(started)
+		<-release
+		finished.Store(true)
+	})
+	w.Kick()
+	<-started
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	w.Close() // must block until fn returns
+	if !finished.Load() {
+		t.Fatal("Close returned before the in-flight run finished")
+	}
+}
+
+func TestWorkerCloseIdempotentAndConcurrent(t *testing.T) {
+	w := NewWorker(func() {})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Close()
+		}()
+	}
+	wg.Wait()
+	w.Kick() // after Close: must not panic, must be a no-op
+}

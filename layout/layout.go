@@ -8,7 +8,13 @@
 // All trees are *complete*: every level except possibly the last is full
 // and the last level is filled left to right. A layout assigns each node of
 // the conceptual tree a position in a flat array; the in-order traversal of
-// the tree enumerates the stored keys in sorted order.
+// the tree enumerates the stored keys in sorted order. Because a layout is
+// just a permutation of sorted order, every query about it is index
+// arithmetic: child and parent maps (vEB navigation is packaged in VEBNav
+// and its cursor), and PosOf, the in-order rank → array position map that
+// gives any layout positional access in sorted order in O(log N) — the
+// primitive behind search.Index's rank accessors and ordered iteration,
+// and through them the store layer's sorted record streaming.
 package layout
 
 import "fmt"

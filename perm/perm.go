@@ -2,16 +2,27 @@
 // in-place permutation of a sorted array into the BST, B-tree, or van Emde
 // Boas implicit search-tree layout.
 //
-// A typical use:
+// A typical keys-only use:
 //
 //	keys := loadSortedKeys()                       // []uint64, sorted
 //	perm.Permute(keys, layout.VEB, perm.CycleLeader,
 //	    perm.WithWorkers(runtime.NumCPU()))
 //	idx := search.NewIndex(keys, layout.VEB, 0)    // query the layout
 //
-// The permutation uses O(P log N) auxiliary space (the paper's Definition
-// 1 of parallel in-place), works for any array length (Chapter 5), and is
-// deterministic for every worker count.
+// For key–value records, PermuteWith moves a value slice by the exact
+// same permutation as its keys — afterwards vals[i] is still the payload
+// of keys[i] for every array position i, so a search hit's position
+// indexes both slices:
+//
+//	perm.PermuteWith(keys, vals, layout.VEB, perm.CycleLeader)
+//	if pos := idx.Find(q); pos >= 0 { use(vals[pos]) }
+//
+// Unpermute and UnpermuteWith invert the layouts back to sorted order,
+// also in place. Every permutation uses O(P log N) auxiliary space (the
+// paper's Definition 1 of parallel in-place), works for any array length
+// (Chapter 5), and is deterministic for every worker count. The store
+// package's build pipeline — including every flush and compaction of its
+// writable DB — is a client of exactly these entry points.
 package perm
 
 import (

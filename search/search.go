@@ -1,9 +1,21 @@
-// Package search implements membership queries on every memory layout the
-// repository builds: plain binary search on sorted arrays (the paper's
-// baseline), level-order BST search with and without explicit prefetching,
-// level-order B-tree search, and van Emde Boas search, plus a parallel
-// batch driver. These are the query engines behind the evaluation figures
-// 6.5–6.7 and 6.9.
+// Package search implements the query side of every memory layout the
+// repository builds. The layout-specific kernels — plain binary search
+// on sorted arrays (the paper's baseline), level-order BST search with
+// and without explicit prefetching, level-order B-tree search, and van
+// Emde Boas search — are the engines behind the paper's evaluation
+// figures 6.5–6.7 and 6.9, and the Index type wraps any laid-out array
+// in one queryable interface over them.
+//
+// Beyond exact membership, an Index answers predecessor and successor
+// queries, gives positional access in sorted order (PosOfRank/AtRank,
+// O(log N) index arithmetic with no rank table), and streams keys in
+// ascending order with Range and Scan by walking the conceptual tree in
+// order — no unpermuting, no allocation. FindBatch fans independent
+// queries across workers, the embarrassingly parallel workload of the
+// paper's GPU evaluation. These primitives are what the store layer
+// builds its record serving on: positions returned by an Index are array
+// positions, so a value slice moved by perm.PermuteWith is indexed by
+// the very same integers.
 package search
 
 import (

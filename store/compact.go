@@ -1,0 +1,156 @@
+package store
+
+import (
+	"cmp"
+
+	"implicitlayout/internal/par"
+)
+
+// maintain drains all pending background work: flush every frozen
+// memtable to a level-0 run, then merge levels until each holds fewer
+// than Fanout runs. It is the drain function of the DB's par.Worker and
+// is also called synchronously by Flush; the compact mutex serializes
+// the two, so run-stack surgery has exactly one writer. Writers are
+// never blocked — each step does its expensive work (build, export,
+// merge) against immutable inputs and only takes db.mu for the final
+// snapshot swap.
+func (db *DB[K, V]) maintain() {
+	db.compact.Lock()
+	defer db.compact.Unlock()
+	for {
+		if db.flushOne() {
+			continue
+		}
+		if db.mergeOne() {
+			continue
+		}
+		return
+	}
+}
+
+// flushOne builds the oldest frozen memtable into a level-0 run and
+// swaps it out of the frozen list, returning false when there is nothing
+// to flush. The frozen table's sorted view has unique keys, so the
+// build pipeline's sort stage sees already-ordered input and the real
+// cost is the parallel layout permutation — the paper's construction
+// primitive is the flush path.
+func (db *DB[K, V]) flushOne() bool {
+	st := db.state.Load()
+	if len(st.frozen) == 0 {
+		return false
+	}
+	m := st.frozen[len(st.frozen)-1] // oldest: flush order preserves run recency
+	recs := m.sortedRecs()
+	keys := make([]K, len(recs))
+	vals := make([]mval[V], len(recs))
+	for i, r := range recs {
+		keys[i], vals[i] = r.key, r.mv
+	}
+	newRun := &run[K, V]{st: db.buildRun(keys, vals), level: 0}
+
+	db.mu.Lock()
+	cur := db.state.Load() // frozen may have grown at the front meanwhile
+	ns := &dbstate[K, V]{
+		frozen: cur.frozen[: len(cur.frozen)-1 : len(cur.frozen)-1],
+		runs:   append([]*run[K, V]{newRun}, cur.runs...),
+	}
+	db.state.Store(ns)
+	db.mu.Unlock()
+	return true
+}
+
+// mergeOne merges the runs of the shallowest over-full level (>= Fanout
+// runs) into one run of the next level, returning false when every level
+// is within bounds. The merge exports each run back to sorted records
+// (parallel unpermute), reduces them newest-to-oldest with the build
+// pipeline's parallel pair merge, resolves shadowed versions
+// first-hit-wins, and builds the result into a fresh sharded layout. A
+// merge that consumes the oldest run drops tombstones too — nothing
+// older exists for them to shadow.
+func (db *DB[K, V]) mergeOne() bool {
+	st := db.state.Load()
+	lo, hi, ok := overFullLevel(st.runs, db.cfg.Fanout)
+	if !ok {
+		return false
+	}
+	level := st.runs[lo].level
+	toLast := hi == len(st.runs) // merge output becomes the oldest run
+
+	// Export every victim concurrently (each export is itself a parallel
+	// unpermute over the run's shards), newest first.
+	r := par.New(db.workers)
+	exported := make([][]mrec[K, V], hi-lo)
+	r.Tasks(hi-lo, func(i int, _ par.Runner) {
+		keys, vals := st.runs[lo+i].st.Export()
+		exported[i] = zipRecs(keys, vals)
+	})
+
+	// Reduce newest-to-oldest with the parallel pair merge; keeping the
+	// newer run on the left makes parallelMerge's left-wins-ties rule
+	// put the newest version of every key first, which is exactly what
+	// compactRecs' first-hit-wins pass needs.
+	merged := exported[0]
+	for _, older := range exported[1:] {
+		dst := make([]mrec[K, V], len(merged)+len(older))
+		parallelMerge(r, dst, merged, older, func(a, b mrec[K, V]) bool {
+			return a.key < b.key
+		})
+		merged = dst
+	}
+	merged = compactRecs(merged, toLast)
+
+	var newRun *run[K, V]
+	if len(merged) > 0 { // all-tombstone merges can compact to nothing
+		keys := make([]K, len(merged))
+		vals := make([]mval[V], len(merged))
+		for i, rec := range merged {
+			keys[i], vals[i] = rec.key, rec.mv
+		}
+		newRun = &run[K, V]{st: db.buildRun(keys, vals), level: level + 1}
+	}
+
+	db.mu.Lock()
+	cur := db.state.Load()
+	// Only maintain() mutates runs and we hold the compact mutex, so the
+	// victims still occupy [lo, hi) — but cur.frozen may differ from
+	// st.frozen, so rebuild the state from cur.
+	nr := make([]*run[K, V], 0, len(cur.runs)-(hi-lo)+1)
+	nr = append(nr, cur.runs[:lo]...)
+	if newRun != nil {
+		nr = append(nr, newRun)
+	}
+	nr = append(nr, cur.runs[hi:]...)
+	db.state.Store(&dbstate[K, V]{frozen: cur.frozen, runs: nr})
+	db.mu.Unlock()
+	return true
+}
+
+// overFullLevel returns the bounds [lo, hi) of the runs of the
+// shallowest level holding at least fanout runs. Runs are newest-first
+// and level-ascending, so each level is one contiguous band.
+func overFullLevel[K cmp.Ordered, V any](runs []*run[K, V], fanout int) (lo, hi int, ok bool) {
+	for i := 0; i < len(runs); {
+		j := i
+		for j < len(runs) && runs[j].level == runs[i].level {
+			j++
+		}
+		if j-i >= fanout {
+			return i, j, true
+		}
+		i = j
+	}
+	return 0, 0, false
+}
+
+// buildRun runs the static build pipeline over sorted unique records and
+// returns the servable Store. The inputs come from a frozen memtable or
+// a compaction merge, so a build error is impossible by construction —
+// mirroring Export, an error here panics rather than propagating an
+// error path no caller could hit.
+func (db *DB[K, V]) buildRun(keys []K, vals []mval[V]) *Store[K, mval[V]] {
+	st, err := Build(keys, vals, db.runOpts...)
+	if err != nil {
+		panic("store: run build failed: " + err.Error())
+	}
+	return st
+}

@@ -1,0 +1,307 @@
+package store
+
+import (
+	"cmp"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"implicitlayout/internal/par"
+)
+
+// DefaultMemLimit is the default memtable flush threshold, in records.
+const DefaultMemLimit = 1 << 15
+
+// DefaultFanout is the default number of runs a level accumulates before
+// the compactor merges them into one run of the next level.
+const DefaultFanout = 4
+
+// DBConfig parameterizes NewDB; zero fields select defaults.
+type DBConfig struct {
+	// MemLimit is the memtable size (in records, tombstones included) at
+	// which the write path freezes it for flushing (default
+	// DefaultMemLimit).
+	MemLimit int
+	// Fanout is the number of runs per level that triggers a merge into
+	// the next level (default DefaultFanout).
+	Fanout int
+	// Store holds the build options every run is built with — layout,
+	// shard count, B, workers, permutation algorithm. WithDuplicates is
+	// ignored: the write path has overwrite semantics, so runs are always
+	// built KeepLast (see the duplicate-policy table in README.md).
+	Store []Option
+}
+
+// DB is a writable key–value store: an LSM-style composition of one
+// mutable sorted memtable (the write path) over a stack of immutable
+// leveled runs, where every run is a sharded implicit-layout Store built
+// by the same parallel sort → partition → permute pipeline as a static
+// Build. The paper's cheap parallel in-place construction is what makes
+// this composition viable — (re)building a run's search layout at flush
+// and compaction time costs a parallel permutation, not a pointer-tree
+// rebuild.
+//
+// Writes (Put, Delete) go to the memtable under a short mutex; when it
+// reaches the configured limit it is frozen and a background compactor
+// flushes it into a level-0 run, merging runs level to level as they
+// accumulate (tiered compaction with the configured fanout, using the
+// build pipeline's parallel pair merge). All immutable state — frozen
+// memtables and the run stack — lives in one atomically swapped
+// snapshot, so readers never block on the compactor and the compactor
+// never blocks readers; a reader that loaded the previous snapshot keeps
+// reading the runs it holds, which stay valid forever.
+//
+// Reads consult the active memtable, then frozen memtables, then runs
+// newest to oldest; the first version of a key found wins, and a
+// tombstone hides every older version until compaction into the oldest
+// run drops it. Range and Scan k-way-merge the memtables with per-run
+// fence-pruned layout streams, yielding live records in ascending key
+// order.
+//
+// A DB is safe for concurrent use: any number of readers may overlap
+// with any number of writers and with background compaction. Writes are
+// applied one at a time (last writer wins on a key); reads are
+// point-in-time against the state they start from. The DB is in-memory
+// only — Close stops the background compactor and nothing needs to be
+// persisted.
+type DB[K cmp.Ordered, V any] struct {
+	cfg      DBConfig
+	runOpts  []Option // cfg.Store + the forced KeepLast policy
+	mu       sync.RWMutex
+	active   *memtable[K, V]
+	state    atomic.Pointer[dbstate[K, V]]
+	compact  sync.Mutex // serializes maintain(): background worker vs Flush/Compact
+	worker   *par.Worker
+	workers  int // parallelism for compaction-time merge, from the build config
+	closedMu sync.Mutex
+	closed   bool
+}
+
+// NewDB opens an empty writable store. The configuration is validated
+// eagerly (unknown layouts fail here, not at first flush).
+func NewDB[K cmp.Ordered, V any](cfg DBConfig) (*DB[K, V], error) {
+	if cfg.MemLimit == 0 {
+		cfg.MemLimit = DefaultMemLimit
+	}
+	if cfg.MemLimit < 1 {
+		return nil, fmt.Errorf("store: MemLimit %d < 1", cfg.MemLimit)
+	}
+	if cfg.Fanout == 0 {
+		cfg.Fanout = DefaultFanout
+	}
+	if cfg.Fanout < 2 {
+		return nil, fmt.Errorf("store: Fanout %d < 2", cfg.Fanout)
+	}
+	runOpts := append(append([]Option{}, cfg.Store...), WithDuplicates(KeepLast))
+	// Dry-run the option list through a one-record build to reject
+	// invalid layouts or capacities before any data is accepted.
+	if _, err := Build([]int{0}, []mval[struct{}]{{}}, runOpts...); err != nil {
+		return nil, fmt.Errorf("store: invalid run options: %w", err)
+	}
+	db := &DB[K, V]{
+		cfg:     cfg,
+		runOpts: runOpts,
+		active:  newMemtable[K, V](),
+		workers: buildConfig(1, cfg.Store).Workers,
+	}
+	db.state.Store(&dbstate[K, V]{})
+	db.worker = par.NewWorker(db.maintain)
+	return db, nil
+}
+
+// Put stores val under key, overwriting any existing value.
+func (db *DB[K, V]) Put(key K, val V) {
+	db.write(key, mval[V]{val: val})
+}
+
+// Delete removes key by writing a tombstone: the deletion is a write
+// like any other, shadowing older versions of the key in frozen
+// memtables and runs until compaction physically drops them. Deleting an
+// absent key is a no-op that still costs a memtable slot until the next
+// flush.
+func (db *DB[K, V]) Delete(key K) {
+	db.write(key, mval[V]{dead: true})
+}
+
+// write applies one record to the active memtable, freezing it for the
+// compactor when it reaches the limit. The critical section is one map
+// write plus, at worst, three slice headers of snapshot bookkeeping —
+// the expensive work (sorting, permuting, merging) all happens on the
+// compactor goroutine outside the lock.
+func (db *DB[K, V]) write(key K, mv mval[V]) {
+	db.mu.Lock()
+	db.active.put(key, mv)
+	kick := false
+	if db.active.len() >= db.cfg.MemLimit {
+		db.freezeLocked()
+		kick = true
+	}
+	db.mu.Unlock()
+	if kick {
+		db.worker.Kick()
+	}
+}
+
+// freezeLocked moves the active memtable into the snapshot's frozen list
+// and installs a fresh one. Caller holds db.mu.
+func (db *DB[K, V]) freezeLocked() {
+	if db.active.len() == 0 {
+		return
+	}
+	st := db.state.Load()
+	ns := &dbstate[K, V]{
+		frozen: append([]*memtable[K, V]{db.active}, st.frozen...),
+		runs:   st.runs,
+	}
+	db.state.Store(ns)
+	db.active = newMemtable[K, V]()
+}
+
+// Get returns the newest live value stored under key, or ok == false if
+// the key is absent or deleted. The lookup checks the active memtable
+// (under a read lock), then the atomic snapshot's frozen memtables and
+// runs newest to oldest; the first version found decides.
+func (db *DB[K, V]) Get(key K) (val V, ok bool) {
+	db.mu.RLock()
+	mv, hit := db.active.get(key)
+	db.mu.RUnlock()
+	if hit {
+		return liveValue(mv)
+	}
+	st := db.state.Load()
+	for _, m := range st.frozen {
+		if mv, hit := m.get(key); hit {
+			return liveValue(mv)
+		}
+	}
+	for _, r := range st.runs {
+		if mv, hit := r.st.Get(key); hit {
+			return liveValue(mv)
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// liveValue unwraps a version hit: a tombstone is an authoritative miss.
+func liveValue[V any](mv mval[V]) (V, bool) {
+	if mv.dead {
+		var zero V
+		return zero, false
+	}
+	return mv.val, true
+}
+
+// Contains reports whether key currently has a live value.
+func (db *DB[K, V]) Contains(key K) bool {
+	_, ok := db.Get(key)
+	return ok
+}
+
+// Range calls yield for every live record with lo <= key <= hi in
+// ascending key order, stopping early if yield returns false. The
+// iteration k-way-merges a copy of the active memtable's interval, the
+// frozen memtables, and each run's fence-pruned layout stream,
+// resolving versions newest-first and suppressing tombstones. It sees a
+// point-in-time state: writes issued after Range starts are not
+// reflected.
+func (db *DB[K, V]) Range(lo, hi K, yield func(key K, val V) bool) {
+	if hi < lo {
+		return
+	}
+	db.rangeMerge(lo, hi, false, yield)
+}
+
+// Scan calls yield for every live record in ascending key order,
+// stopping early if yield returns false — Range over the whole key
+// space.
+func (db *DB[K, V]) Scan(yield func(key K, val V) bool) {
+	var zero K
+	db.rangeMerge(zero, zero, true, yield)
+}
+
+func (db *DB[K, V]) rangeMerge(lo, hi K, all bool, yield func(key K, val V) bool) {
+	db.mu.RLock()
+	act := db.active.collect(lo, hi, all)
+	// Load the snapshot under the same lock hold: a freeze moves the
+	// active table into the snapshot under the write lock, so reading
+	// both sides inside one read-lock section is what makes the merge a
+	// true point-in-time view (copy + snapshot from the same epoch).
+	st := db.state.Load()
+	db.mu.RUnlock()
+	sortRecs(act) // outside the lock: writers don't pay for our ordering
+	sources := make([]*source[K, V], 0, 1+len(st.frozen)+len(st.runs))
+	sources = append(sources, recsSource(act))
+	for _, m := range st.frozen {
+		sources = append(sources, recsSource(boundRecs(m.sortedRecs(), lo, hi, all)))
+	}
+	for _, r := range st.runs {
+		sources = append(sources, storeSource(r.st, lo, hi, all))
+	}
+	mergeSources(sources, yield)
+}
+
+// Flush synchronously freezes the active memtable (if non-empty) and
+// drains all pending compaction work: on return every record is in a
+// run, the memtable and frozen list are empty, and the level invariant
+// (fewer than Fanout runs per level) holds. Concurrent writers may of
+// course repopulate the memtable immediately.
+func (db *DB[K, V]) Flush() {
+	db.mu.Lock()
+	db.freezeLocked()
+	db.mu.Unlock()
+	db.maintain()
+}
+
+// Close stops the background compactor and waits for any in-flight
+// compaction to finish. The DB stays readable and even writable after
+// Close, but frozen memtables are no longer flushed in the background —
+// call Flush to drain synchronously. Close is idempotent.
+func (db *DB[K, V]) Close() {
+	db.closedMu.Lock()
+	defer db.closedMu.Unlock()
+	if db.closed {
+		return
+	}
+	db.closed = true
+	db.worker.Close()
+}
+
+// DBStats is a point-in-time observability snapshot of a DB's shape.
+type DBStats struct {
+	// MemRecords is the active memtable size in records (tombstones
+	// included).
+	MemRecords int
+	// FrozenTables is the number of memtables frozen but not yet flushed.
+	FrozenTables int
+	// RunRecords and RunLevels describe the run stack newest-first:
+	// run i holds RunRecords[i] records (tombstones included) at level
+	// RunLevels[i].
+	RunRecords []int
+	// RunLevels — see RunRecords.
+	RunLevels []int
+}
+
+// Runs returns the run count.
+func (s DBStats) Runs() int { return len(s.RunRecords) }
+
+// Stats returns the DB's current shape: memtable fill, frozen backlog,
+// and the run stack. Benchmarks and tests use it to see compaction
+// progress; it is cheap (no data is touched).
+func (db *DB[K, V]) Stats() DBStats {
+	db.mu.RLock()
+	mem := db.active.len()
+	db.mu.RUnlock()
+	st := db.state.Load()
+	stats := DBStats{
+		MemRecords:   mem,
+		FrozenTables: len(st.frozen),
+		RunRecords:   make([]int, len(st.runs)),
+		RunLevels:    make([]int, len(st.runs)),
+	}
+	for i, r := range st.runs {
+		stats.RunRecords[i] = r.st.Len()
+		stats.RunLevels[i] = r.level
+	}
+	return stats
+}

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"implicitlayout/layout"
+)
+
+// TestDBCompactionStress hammers one DB from concurrent writers and
+// readers while a tiny MemLimit keeps the background compactor
+// constantly flushing and merging, and verifies the result against a
+// mutex-guarded map. Each writer owns a disjoint key stripe, so its own
+// reads mid-flight have deterministic answers even while other stripes
+// churn; dedicated readers meanwhile check cross-stripe ordering
+// invariants that must hold in every snapshot. Run under -race this is
+// the memory-model check on the atomic-snapshot swap (CI does exactly
+// that).
+func TestDBCompactionStress(t *testing.T) {
+	const (
+		writers  = 4
+		readers  = 2
+		opsEach  = 3000
+		stripe   = 1 << 16 // key space per writer
+		memLimit = 64      // tiny: force constant flush + merge traffic
+	)
+	db, err := NewDB[uint64, uint64](DBConfig{MemLimit: memLimit, Fanout: 2,
+		Store: []Option{WithLayout(layout.VEB), WithShards(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var refMu sync.Mutex
+	ref := map[uint64]uint64{}
+
+	var wgWriters sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wgWriters.Add(1)
+		go func(w int) {
+			defer wgWriters.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			base := uint64(w) * stripe
+			mine := map[uint64]uint64{} // this stripe's expected state
+			for i := 0; i < opsEach; i++ {
+				k := base + uint64(rng.Intn(512))
+				switch rng.Intn(10) {
+				case 0, 1: // delete
+					db.Delete(k)
+					delete(mine, k)
+					refMu.Lock()
+					delete(ref, k)
+					refMu.Unlock()
+				default: // put
+					v := uint64(i)<<8 | uint64(w)
+					db.Put(k, v)
+					mine[k] = v
+					refMu.Lock()
+					ref[k] = v
+					refMu.Unlock()
+				}
+				// A writer's own stripe is single-writer, so its reads
+				// are deterministic no matter what compaction is doing.
+				if i%17 == 0 {
+					want, live := mine[k]
+					got, ok := db.Get(k)
+					if ok != live || (live && got != want) {
+						panic(fmt.Sprintf("writer %d: Get(%d) = %d,%v want %d,%v",
+							w, k, got, ok, want, live))
+					}
+				}
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var wgReaders sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wgReaders.Add(1)
+		go func(r int) {
+			defer wgReaders.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := uint64(rng.Intn(writers * stripe))
+				hi := lo + uint64(rng.Intn(1024))
+				prev := uint64(0)
+				first := true
+				db.Range(lo, hi, func(k, v uint64) bool {
+					if k < lo || k > hi {
+						panic(fmt.Sprintf("Range(%d,%d) yielded out-of-range key %d", lo, hi, k))
+					}
+					if !first && k <= prev {
+						panic(fmt.Sprintf("Range(%d,%d) keys not strictly ascending: %d after %d",
+							lo, hi, k, prev))
+					}
+					if who := v & 0xff; who != k/stripe {
+						panic(fmt.Sprintf("key %d carries value written by stripe %d", k, who))
+					}
+					prev, first = k, false
+					return true
+				})
+			}
+		}(r)
+	}
+
+	wgWriters.Wait()
+	close(stop)
+	wgReaders.Wait()
+
+	// Final verification against the reference — first through the
+	// memtable+runs path as the workload left it, then through the
+	// runs-only path after a full synchronous flush and compaction.
+	verify := func(phase string) {
+		t.Helper()
+		for k, want := range ref {
+			if got, ok := db.Get(k); !ok || got != want {
+				t.Fatalf("%s: Get(%d) = %d, %v; want %d, true", phase, k, got, ok, want)
+			}
+		}
+		n := 0
+		db.Scan(func(k, v uint64) bool {
+			want, ok := ref[k]
+			if !ok || v != want {
+				t.Fatalf("%s: Scan yielded %d=%d; reference says %d,%v", phase, k, v, want, ok)
+			}
+			n++
+			return true
+		})
+		if n != len(ref) {
+			t.Fatalf("%s: Scan yielded %d records, reference has %d", phase, n, len(ref))
+		}
+	}
+	verify("pre-flush")
+	db.Flush()
+	st := db.Stats()
+	if st.MemRecords != 0 || st.FrozenTables != 0 {
+		t.Fatalf("after Flush: %+v", st)
+	}
+	verify("post-flush")
+}

@@ -1,0 +1,286 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"implicitlayout/layout"
+)
+
+// collectDB drains db.Scan into parallel slices.
+func collectDB(db *DB[uint64, string]) (keys []uint64, vals []string) {
+	db.Scan(func(k uint64, v string) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return true
+	})
+	return keys, vals
+}
+
+func TestDBPutGetDelete(t *testing.T) {
+	db, err := NewDB[uint64, string](DBConfig{MemLimit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	if _, ok := db.Get(1); ok {
+		t.Fatal("Get on empty DB reported a hit")
+	}
+	db.Put(1, "a")
+	db.Put(2, "b")
+	db.Put(1, "a2") // overwrite in memtable
+	if v, ok := db.Get(1); !ok || v != "a2" {
+		t.Fatalf("Get(1) = %q, %v; want \"a2\", true", v, ok)
+	}
+	db.Delete(2)
+	if _, ok := db.Get(2); ok {
+		t.Fatal("Get(2) after Delete reported a hit")
+	}
+	if db.Contains(2) {
+		t.Fatal("Contains(2) after Delete")
+	}
+	db.Flush() // force everything into runs; semantics must not change
+	if v, ok := db.Get(1); !ok || v != "a2" {
+		t.Fatalf("after Flush Get(1) = %q, %v; want \"a2\", true", v, ok)
+	}
+	if _, ok := db.Get(2); ok {
+		t.Fatal("after Flush Get(2) reported a hit; tombstone lost in flush")
+	}
+	db.Put(1, "a3") // newer memtable version must shadow the run
+	if v, _ := db.Get(1); v != "a3" {
+		t.Fatalf("Get(1) = %q, want memtable version \"a3\"", v)
+	}
+}
+
+func TestDBTombstoneShadowsOlderRuns(t *testing.T) {
+	db, err := NewDB[uint64, string](DBConfig{MemLimit: 4, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Put(10, "v1")
+	db.Flush() // run A holds 10=v1
+	db.Delete(10)
+	db.Flush() // run B holds the tombstone; A still holds v1
+	if _, ok := db.Get(10); ok {
+		t.Fatal("tombstone in newer run failed to shadow older run")
+	}
+	keys, _ := collectDB(db)
+	if len(keys) != 0 {
+		t.Fatalf("Scan yielded %v; want nothing (deleted)", keys)
+	}
+}
+
+func TestDBCompactionMergesAndDropsTombstones(t *testing.T) {
+	db, err := NewDB[uint64, string](DBConfig{MemLimit: 4, Fanout: 2,
+		Store: []Option{WithShards(2), WithLayout(layout.VEB)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const n = 64
+	for i := uint64(0); i < n; i++ {
+		db.Put(i, fmt.Sprint("v", i))
+	}
+	for i := uint64(0); i < n; i += 2 {
+		db.Delete(i)
+	}
+	db.Flush()
+
+	st := db.Stats()
+	if st.MemRecords != 0 || st.FrozenTables != 0 {
+		t.Fatalf("after Flush: %+v; want empty memtable and frozen list", st)
+	}
+	for i, lvl := range st.RunLevels {
+		if i > 0 && lvl < st.RunLevels[i-1] {
+			t.Fatalf("run levels not ascending: %v", st.RunLevels)
+		}
+	}
+	// Tiered compaction with fanout 2 must have kept every level under 2
+	// runs.
+	count := map[int]int{}
+	for _, lvl := range st.RunLevels {
+		count[lvl]++
+		if count[lvl] >= 2 {
+			t.Fatalf("level %d holds %d runs, fanout invariant violated: %v",
+				lvl, count[lvl], st.RunLevels)
+		}
+	}
+
+	keys, vals := collectDB(db)
+	var wantK []uint64
+	var wantV []string
+	for i := uint64(1); i < n; i += 2 {
+		wantK = append(wantK, i)
+		wantV = append(wantV, fmt.Sprint("v", i))
+	}
+	if !slices.Equal(keys, wantK) || !slices.Equal(vals, wantV) {
+		t.Fatalf("Scan = %v/%v, want %v/%v", keys, vals, wantK, wantV)
+	}
+
+	// The deepest merge consumed the oldest run, so tombstones must be
+	// physically gone: total run records == live records.
+	total := 0
+	for _, c := range db.Stats().RunRecords {
+		total += c
+	}
+	if total != len(wantK) {
+		t.Fatalf("runs hold %d records, want %d live (tombstones not dropped)",
+			total, len(wantK))
+	}
+}
+
+func TestDBRangeMergesAllLayers(t *testing.T) {
+	for _, kind := range []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB} {
+		t.Run(kind.String(), func(t *testing.T) {
+			db, err := NewDB[uint64, string](DBConfig{MemLimit: 16, Fanout: 3,
+				Store: []Option{WithLayout(kind), WithShards(3), WithB(4)}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			ref := map[uint64]string{}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 2000; i++ {
+				k := uint64(rng.Intn(500))
+				switch rng.Intn(10) {
+				case 0:
+					db.Delete(k)
+					delete(ref, k)
+				default:
+					v := fmt.Sprint("r", i)
+					db.Put(k, v)
+					ref[k] = v
+				}
+				if i == 1000 {
+					db.Flush()
+				}
+			}
+
+			check := func(lo, hi uint64) {
+				t.Helper()
+				var gotK []uint64
+				var gotV []string
+				db.Range(lo, hi, func(k uint64, v string) bool {
+					gotK = append(gotK, k)
+					gotV = append(gotV, v)
+					return true
+				})
+				var wantK []uint64
+				for k := range ref {
+					if k >= lo && k <= hi {
+						wantK = append(wantK, k)
+					}
+				}
+				slices.Sort(wantK)
+				wantV := make([]string, len(wantK))
+				for i, k := range wantK {
+					wantV[i] = ref[k]
+				}
+				if !slices.Equal(gotK, wantK) || !slices.Equal(gotV, wantV) {
+					t.Fatalf("Range(%d, %d): got %d records, want %d (first diff around %v)",
+						lo, hi, len(gotK), len(wantK), firstDiff(gotK, wantK))
+				}
+			}
+			check(0, 600)   // everything
+			check(100, 250) // interior
+			check(499, 499) // singleton
+			check(600, 700) // empty, above
+			db.Flush()
+			check(0, 600) // after full compaction too
+
+			// Early exit must stop the merge cleanly.
+			seen := 0
+			db.Scan(func(uint64, string) bool { seen++; return seen < 5 })
+			if seen != 5 {
+				t.Fatalf("early-exit Scan saw %d records, want 5", seen)
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []uint64) any {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("index %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(a), len(b))
+}
+
+func TestDBBackgroundFlush(t *testing.T) {
+	db, err := NewDB[uint64, string](DBConfig{MemLimit: 32, Fanout: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	for i := uint64(0); i < 1000; i++ {
+		db.Put(i, fmt.Sprint("v", i))
+	}
+	// The background worker races this check; Flush forces the backlog
+	// down deterministically, then everything must be served from runs.
+	db.Flush()
+	st := db.Stats()
+	if st.Runs() == 0 {
+		t.Fatalf("no runs after 1000 writes with MemLimit 32: %+v", st)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if v, ok := db.Get(i); !ok || v != fmt.Sprint("v", i) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+}
+
+func TestDBConfigValidation(t *testing.T) {
+	if _, err := NewDB[int, int](DBConfig{MemLimit: -1}); err == nil {
+		t.Fatal("negative MemLimit accepted")
+	}
+	if _, err := NewDB[int, int](DBConfig{Fanout: 1}); err == nil {
+		t.Fatal("Fanout 1 accepted (would merge forever)")
+	}
+	if _, err := NewDB[int, int](DBConfig{Store: []Option{WithLayout(layout.Kind(99))}}); err == nil {
+		t.Fatal("unknown layout accepted")
+	}
+	// KeepAll must be overridden, not honored: the DB is KeepLast only.
+	db, err := NewDB[int, int](DBConfig{MemLimit: 2, Store: []Option{WithDuplicates(KeepAll)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.Put(1, 10)
+	db.Put(1, 11)
+	db.Put(2, 20)
+	db.Flush()
+	n := 0
+	db.Scan(func(int, int) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("Scan saw %d records, want 2 (KeepAll must not leak into DB runs)", n)
+	}
+}
+
+func TestDBCloseIdempotentAndUsableAfter(t *testing.T) {
+	db, err := NewDB[int, int](DBConfig{MemLimit: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put(1, 1)
+	db.Close()
+	db.Close() // idempotent
+	db.Put(2, 2)
+	db.Put(3, 3)
+	db.Put(4, 4)
+	db.Put(5, 5) // crosses MemLimit: freeze + kick on closed worker is a no-op
+	db.Flush()   // synchronous drain still works
+	for k := 1; k <= 5; k++ {
+		if v, ok := db.Get(k); !ok || v != k {
+			t.Fatalf("after Close: Get(%d) = %d, %v", k, v, ok)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package store
+
+import (
+	"cmp"
+	"slices"
+	"sync"
+)
+
+// mval is the record payload inside the DB's write path: the user value
+// plus a tombstone bit. Runs store mval payloads too, so a deletion
+// written to the memtable keeps shadowing older runs after it is flushed,
+// until compaction reaches the last level and drops it for good.
+type mval[V any] struct {
+	val  V
+	dead bool
+}
+
+// mrec is one sorted-view record: a key with its payload.
+type mrec[K cmp.Ordered, V any] struct {
+	key K
+	mv  mval[V]
+}
+
+// memtable is the DB's mutable ingest buffer: a hash map with overwrite
+// (KeepLast) semantics and tombstones for deletes, plus a sorted view
+// materialized at most once after the table freezes.
+//
+// The representation is deliberately a map, not a skip list or sorted
+// array: Put, Delete, and Get are O(1) under the DB's lock, so the write
+// path's critical section stays a few dozen nanoseconds no matter how
+// full the table is. Order is recovered exactly once per memtable
+// lifetime — at flush (where the run build's parallel sort ingests the
+// records anyway) or at the first ordered read of a frozen table — which
+// is the same sort-then-permute shape as the paper's static pipeline.
+// Ordered reads of the *active* table sort their interval per call; that
+// cost is bounded by the flush threshold and carried by the reader, not
+// by writers.
+type memtable[K cmp.Ordered, V any] struct {
+	m        map[K]mval[V]
+	sortOnce sync.Once
+	sorted   []mrec[K, V]
+}
+
+func newMemtable[K cmp.Ordered, V any]() *memtable[K, V] {
+	return &memtable[K, V]{m: make(map[K]mval[V])}
+}
+
+// put inserts or overwrites key with the given payload.
+func (m *memtable[K, V]) put(key K, mv mval[V]) { m.m[key] = mv }
+
+// get returns the payload stored under key. A hit with mv.dead set means
+// the key was deleted here — the caller must stop searching older data.
+func (m *memtable[K, V]) get(key K) (mv mval[V], ok bool) {
+	mv, ok = m.m[key]
+	return mv, ok
+}
+
+// len returns the number of records, tombstones included (a tombstone
+// occupies a slot and counts toward the flush threshold like any write).
+func (m *memtable[K, V]) len() int { return len(m.m) }
+
+// collect returns an unsorted copy of the records with keys in [lo, hi]
+// (all of them when all is set). Range readers collect the active
+// memtable under the DB's read lock — one O(len) scan, no ordering work
+// — and sort the copy outside it, so a long scan never holds up writers.
+func (m *memtable[K, V]) collect(lo, hi K, all bool) []mrec[K, V] {
+	recs := make([]mrec[K, V], 0, len(m.m))
+	for k, mv := range m.m {
+		if all || (k >= lo && k <= hi) {
+			recs = append(recs, mrec[K, V]{key: k, mv: mv})
+		}
+	}
+	return recs
+}
+
+// sortedRecs returns the table's records in ascending key order,
+// materializing the view on first use. Only safe on frozen memtables:
+// the map must no longer be written. Concurrent callers (the compactor
+// flushing, readers merging) share one materialization.
+func (m *memtable[K, V]) sortedRecs() []mrec[K, V] {
+	m.sortOnce.Do(func() {
+		var zk K
+		m.sorted = m.collect(zk, zk, true)
+		sortRecs(m.sorted)
+	})
+	return m.sorted
+}
+
+// sortRecs sorts a record slice ascending by key.
+func sortRecs[K cmp.Ordered, V any](recs []mrec[K, V]) {
+	slices.SortFunc(recs, func(a, b mrec[K, V]) int { return cmp.Compare(a.key, b.key) })
+}
+
+// boundRecs narrows a sorted record slice to the keys in [lo, hi]
+// (returned as a subslice, no copy).
+func boundRecs[K cmp.Ordered, V any](recs []mrec[K, V], lo, hi K, all bool) []mrec[K, V] {
+	if all {
+		return recs
+	}
+	i, _ := slices.BinarySearchFunc(recs, lo, func(r mrec[K, V], k K) int {
+		return cmp.Compare(r.key, k)
+	})
+	j, ok := slices.BinarySearchFunc(recs, hi, func(r mrec[K, V], k K) int {
+		return cmp.Compare(r.key, k)
+	})
+	if ok {
+		j++
+	}
+	return recs[i:j]
+}

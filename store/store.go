@@ -1,6 +1,10 @@
-// Package store is a read-optimized, sharded static key–value store built
-// on the paper's in-place layout permutations: the serving-layer subsystem
-// on the road from "fast kernels" to "fast system".
+// Package store is the serving layer built on the paper's in-place
+// layout permutations. It offers two data structures: the immutable
+// sharded Store, and the writable DB that stacks an LSM-style write path
+// on top of it. See ARCHITECTURE.md at the repository root for the layer
+// diagram and data flows.
+//
+// # Store: the static record store
 //
 // A Store owns its records end to end. Build ingests unsorted key–value
 // pairs and runs the parallel build pipeline — stable parallel merge sort
@@ -20,6 +24,20 @@
 // of reader goroutines may share one Store with no synchronization, and
 // Export recovers the sorted records via perm.UnpermuteWith without
 // disturbing the servable shards.
+//
+// # DB: the writable store
+//
+// A DB accepts Put and Delete at any time: writes land in a mutable
+// memtable, a background compactor flushes full memtables into immutable
+// level-0 runs — each run a sharded Store whose payloads carry a
+// tombstone bit — and merges runs level to level as they accumulate.
+// Reads resolve versions newest-first across memtable and runs, and
+// DB.Range/DB.Scan k-way merge all layers into one ordered stream of
+// live records. The paper's cheap parallel construction is what makes
+// "rebuild a search layout at every flush" a write path rather than a
+// maintenance outage. Duplicate handling is always KeepLast in the DB
+// (overwrite semantics); see the decision table in README.md for how
+// the Store policies interact with tombstones.
 package store
 
 import (
