@@ -3,7 +3,10 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
+	"time"
 
 	"implicitlayout/layout"
 	"implicitlayout/store"
@@ -27,6 +30,16 @@ type DBConfig struct {
 	MemLimit, Fanout int
 	// B is the B-tree node capacity for B-tree run layouts.
 	B int
+	// Dir, when non-empty, switches the benchmark to the durable DB:
+	// every cell opens a fresh subdirectory of Dir, every Put goes
+	// through the write-ahead log, and after the timed workload the DB
+	// is closed and reopened — the reopen (manifest load + segment read,
+	// no re-sort, no re-permute) is measured and verified, and the table
+	// grows reopen-time and segment-count columns.
+	Dir string
+	// SyncWrites additionally fsyncs the WAL on every write (durable
+	// mode only) — the full power-failure guarantee, at syscall cost.
+	SyncWrites bool
 	// Layouts and Workers span the measured grid; Workers counts client
 	// goroutines, not build parallelism.
 	Layouts []layout.Kind
@@ -44,37 +57,64 @@ type DBConfig struct {
 // configured Put/Get mix while compaction runs in the background. Every
 // Get that hits is verified against the key-derived payload. The
 // closing columns report the DB's shape after the run — how many runs
-// and levels the write stream left behind.
+// and levels the write stream left behind — plus, in durable mode
+// (Dir set), the measured reopen/recovery time and on-disk segment
+// count.
 func DBThroughput(c DBConfig) *Table {
 	n := 1 << c.LogN
+	durable := c.Dir != ""
+	mode := "in-memory"
+	if durable {
+		mode = fmt.Sprintf("durable (dir=%s sync=%v)", c.Dir, c.SyncWrites)
+	}
 	t := &Table{
-		Title: fmt.Sprintf("store/db: mixed workload, N=2^%d preloaded, %d ops, %.0f%% writes",
-			c.LogN, c.Ops, 100*c.WriteFrac),
+		Title: fmt.Sprintf("store/db: mixed workload, N=2^%d preloaded, %d ops, %.0f%% writes, %s",
+			c.LogN, c.Ops, 100*c.WriteFrac, mode),
 		Note: fmt.Sprintf("clients split the op stream; background compaction on; "+
 			"memlimit=%d fanout=%d b=%d trials=%d", c.MemLimit, c.Fanout, c.B, c.Trials),
 		Header: []string{"layout", "clients", "Mop/s", "ns/op", "hit%", "runs", "max_level"},
 	}
+	if durable {
+		t.Header = append(t.Header, "reopen_ms", "segs")
+	}
+	cell := 0
 	for _, kind := range c.Layouts {
 		for _, clients := range c.Workers {
+			cell++
 			var db *store.DB[uint64, uint64]
+			var dir string
 			var hits int64
+			cfg := store.DBConfig{
+				MemLimit: c.MemLimit, Fanout: c.Fanout, SyncWrites: c.SyncWrites,
+				Store: []store.Option{store.WithLayout(kind), store.WithB(c.B)},
+			}
 			prep := func() {
 				if db != nil {
 					db.Close()
 				}
+				if dir != "" {
+					os.RemoveAll(dir)
+				}
 				var err error
-				db, err = store.NewDB[uint64, uint64](store.DBConfig{
-					MemLimit: c.MemLimit, Fanout: c.Fanout,
-					Store: []store.Option{store.WithLayout(kind), store.WithB(c.B)},
-				})
+				if durable {
+					dir = filepath.Join(c.Dir, fmt.Sprintf("cell-%d", cell))
+					os.RemoveAll(dir) // a fresh directory every trial
+					db, err = store.Open[uint64, uint64](dir, cfg)
+				} else {
+					db, err = store.NewDB[uint64, uint64](cfg)
+				}
 				if err != nil {
 					panic("bench: " + err.Error())
 				}
 				for i := 0; i < n; i++ {
 					k := uint64(i)
-					db.Put(k, k^storeValMagic)
+					if err := db.Put(k, k^storeValMagic); err != nil {
+						panic("bench: preload: " + err.Error())
+					}
 				}
-				db.Flush()
+				if err := db.Flush(); err != nil {
+					panic("bench: preload flush: " + err.Error())
+				}
 			}
 			d := timeIt(c.Trials, prep, func() {
 				hits = runMixed(db, c, clients, n)
@@ -90,9 +130,7 @@ func DBThroughput(c DBConfig) *Table {
 			if reads > 0 {
 				hitPct = 100 * float64(hits) / reads
 			}
-			db.Close()
-			db = nil
-			t.AddRow(
+			row := []string{
 				kind.String(),
 				fmt.Sprint(clients),
 				fmt.Sprintf("%.2f", ops/d.Seconds()/1e6),
@@ -100,10 +138,52 @@ func DBThroughput(c DBConfig) *Table {
 				fmt.Sprintf("%.1f", hitPct),
 				fmt.Sprint(st.Runs()),
 				fmt.Sprint(maxLevel),
-			)
+			}
+			if durable {
+				reopenMS, segs := measureReopen(db, dir, cfg, n)
+				db = nil // measureReopen closed it
+				row = append(row,
+					fmt.Sprintf("%.1f", reopenMS),
+					fmt.Sprint(segs))
+				os.RemoveAll(dir)
+				dir = ""
+			} else {
+				db.Close()
+				db = nil
+			}
+			t.AddRow(row...)
 		}
 	}
 	return t
+}
+
+// measureReopen closes the benchmarked DB (flushing everything to
+// manifest-committed segments), reopens the directory cold, verifies a
+// sample of the preloaded records against their key-derived payloads,
+// and returns the reopen wall time and on-disk segment count. The
+// reopen is the recovery path the durable design optimizes: manifest
+// load plus straight reads of the permuted arrays.
+func measureReopen(db *store.DB[uint64, uint64], dir string, cfg store.DBConfig, n int) (ms float64, segs int) {
+	if err := db.Close(); err != nil {
+		panic("bench: closing durable db: " + err.Error())
+	}
+	start := time.Now()
+	reopened, err := store.Open[uint64, uint64](dir, cfg)
+	if err != nil {
+		panic("bench: reopening durable db: " + err.Error())
+	}
+	elapsed := time.Since(start)
+	for i := 0; i < n; i += 97 { // sampled verification: reads hit real segments
+		k := uint64(i)
+		if v, ok := reopened.Get(k); !ok || v != k^storeValMagic {
+			panic(fmt.Sprintf("bench: reopened db lost key %d (got %d, %v)", k, v, ok))
+		}
+	}
+	segs = reopened.Stats().DiskRuns
+	if err := reopened.Close(); err != nil {
+		panic("bench: closing reopened db: " + err.Error())
+	}
+	return float64(elapsed.Nanoseconds()) / 1e6, segs
 }
 
 // runMixed fires c.Ops operations at db from the given number of client
@@ -126,7 +206,9 @@ func runMixed(db *store.DB[uint64, uint64], c DBConfig, clients, n int) int64 {
 			for i := 0; i < per; i++ {
 				if rng.Float64() < c.WriteFrac {
 					k := uint64(rng.Intn(n))
-					db.Put(k, k^storeValMagic)
+					if err := db.Put(k, k^storeValMagic); err != nil {
+						panic("bench: put not acked: " + err.Error())
+					}
 				} else {
 					k := uint64(rng.Intn(2 * n)) // ~half the reads miss
 					if v, ok := db.Get(k); ok {

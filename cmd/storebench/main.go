@@ -12,7 +12,14 @@
 // the table reports per-cell throughput plus the run/level shape the
 // write stream left behind.
 //
-// In both modes -json writes the table as machine-readable JSON
+// Adding -dir D makes the mixed-workload DB durable: writes go through
+// the write-ahead log under D, flushes and compactions produce segment
+// files there, and after the timed workload the DB is closed, reopened
+// cold, and verified — the reopen (manifest load + straight segment
+// reads, no re-sort or re-permute) is measured and reported in the
+// reopen_ms column. -syncwrites additionally fsyncs the log per write.
+//
+// In all modes -json writes the table as machine-readable JSON
 // (BENCH_store.json-style) so CI can archive and trend the perf
 // trajectory.
 //
@@ -21,6 +28,7 @@
 //	storebench -logn 22 -q 1000000 -shards 1,4,16 -workers 1,8 -layouts veb,btree
 //	storebench -logn 20 -trials 1 -json BENCH_store.json
 //	storebench -writes 0.2 -logn 20 -ops 1000000 -workers 1,4,8 -json BENCH_db.json
+//	storebench -writes 0.2 -logn 16 -ops 200000 -dir /tmp/sb -json BENCH_durable.json
 package main
 
 import (
@@ -52,16 +60,24 @@ func main() {
 	ops := flag.Int("ops", 1_000_000, "operations per measurement (mixed-workload mode)")
 	memLimit := flag.Int("memlimit", 0, "DB memtable flush threshold (mixed-workload mode; 0 = default)")
 	fanout := flag.Int("fanout", 0, "DB runs per level before merging (mixed-workload mode; 0 = default)")
+	dir := flag.String("dir", "",
+		"durable mode: back the DB with this directory (WAL + segment files), "+
+			"then close, reopen, and verify it, reporting recovery time (requires -writes)")
+	syncWrites := flag.Bool("syncwrites", false, "durable mode: fsync the WAL on every write")
 	flag.Parse()
 
 	if *writes < 0 || *writes > 1 {
 		fatalf("-writes %v outside [0, 1]", *writes)
+	}
+	if *dir != "" && *writes == 0 {
+		fatalf("-dir requires the mixed-workload mode (-writes > 0): the durable DB is the write path")
 	}
 	var t *bench.Table
 	if *writes > 0 {
 		t = bench.DBThroughput(bench.DBConfig{
 			LogN: *logN, Ops: *ops, WriteFrac: *writes,
 			MemLimit: *memLimit, Fanout: *fanout, B: *b,
+			Dir: *dir, SyncWrites: *syncWrites,
 			Layouts: parseLayouts(*layouts),
 			Workers: parseInts(*workers),
 			Trials:  *trials, Seed: *seed,

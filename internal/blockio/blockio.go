@@ -1,0 +1,172 @@
+// Package blockio implements the framed-block file format shared by the
+// store's durable artifacts — segment files, the write-ahead log, and
+// the manifest. Every artifact is a sequence of self-describing frames:
+//
+//	frame := tag(1) | length(4, LE) | crc32c(4, LE) | payload
+//
+// The checksum is CRC-32C (Castagnoli) over the tag byte followed by the
+// payload, so a flipped bit anywhere in a frame's content — including
+// its type — fails verification, and a corrupted length field makes the
+// checksum run over the wrong byte range and fail with overwhelming
+// probability. A frame cut short by a crash (a "torn tail") surfaces as
+// io.ErrUnexpectedEOF, which callers distinguish from both a clean end
+// of stream (io.EOF) and content corruption (ErrCorrupt): a torn final
+// frame is the expected shape of an interrupted append, while a checksum
+// mismatch earlier in a file is real damage.
+//
+// WriteFileAtomic is the publication primitive for rewrite-in-place
+// artifacts (the manifest, finished segments): write to a temp file in
+// the destination directory, fsync it, rename over the destination, and
+// fsync the directory, so concurrent readers and post-crash reopens see
+// either the old complete file or the new complete file, never a prefix.
+package blockio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt reports a frame whose checksum does not match its content
+// (or whose header is structurally impossible). It is distinct from
+// io.ErrUnexpectedEOF, which reports a frame cut short by truncation.
+var ErrCorrupt = errors.New("blockio: corrupt block")
+
+// headerSize is the fixed frame prelude: tag, payload length, checksum.
+const headerSize = 1 + 4 + 4
+
+// MaxBlock caps a single frame's payload. It exists so a corrupted
+// length field cannot demand an absurd read; real payloads (a shard's
+// encoded key array, a WAL record) sit far below it.
+const MaxBlock = 1 << 30
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func checksum(tag byte, payload []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, []byte{tag})
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// Writer appends frames to an underlying stream and tracks the byte
+// offset, so callers can report exact file sizes without stat calls.
+type Writer struct {
+	w   io.Writer
+	off int64
+}
+
+// NewWriter returns a frame writer over w. The writer does no buffering
+// of its own: each WriteBlock issues one Write of the whole frame, so an
+// *os.File underneath has every acked frame in the OS page cache (a
+// process crash loses nothing; fsync policy is the caller's).
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteBlock appends one frame holding payload under the given tag.
+func (bw *Writer) WriteBlock(tag byte, payload []byte) error {
+	if len(payload) > MaxBlock {
+		return fmt.Errorf("blockio: payload of %d bytes exceeds MaxBlock", len(payload))
+	}
+	frame := make([]byte, headerSize+len(payload))
+	frame[0] = tag
+	binary.LittleEndian.PutUint32(frame[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[5:9], checksum(tag, payload))
+	copy(frame[headerSize:], payload)
+	n, err := bw.w.Write(frame)
+	bw.off += int64(n)
+	return err
+}
+
+// Offset returns the number of bytes written so far.
+func (bw *Writer) Offset() int64 { return bw.off }
+
+// Reader iterates the frames of a stream, verifying each checksum.
+type Reader struct {
+	r io.Reader
+}
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next returns the next frame's tag and payload. At a clean end of
+// stream it returns io.EOF; a frame cut short mid-header or mid-payload
+// returns io.ErrUnexpectedEOF; a checksum mismatch or impossible length
+// returns an error wrapping ErrCorrupt.
+func (br *Reader) Next() (tag byte, payload []byte, err error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br.r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF // clean boundary: no frame started
+		}
+		return 0, nil, err
+	}
+	if _, err := io.ReadFull(br.r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // header started but cut short
+		}
+		return 0, nil, err
+	}
+	tag = hdr[0]
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	want := binary.LittleEndian.Uint32(hdr[5:9])
+	if n > MaxBlock {
+		return 0, nil, fmt.Errorf("%w: frame length %d exceeds MaxBlock", ErrCorrupt, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(br.r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	if got := checksum(tag, payload); got != want {
+		return 0, nil, fmt.Errorf("%w: checksum %08x, frame says %08x", ErrCorrupt, got, want)
+	}
+	return tag, payload, nil
+}
+
+// WriteFileAtomic publishes a file at path by writing it to a temp file
+// in the same directory, fsyncing, and renaming it into place, then
+// fsyncing the directory so the rename itself is durable. On any error
+// the temp file is removed and the destination is untouched.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	tmp = nil // renamed away: nothing to clean up
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making completed renames and removals in
+// it durable. Filesystems that cannot sync a directory handle report an
+// error from Sync; those are surfaced to the caller.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

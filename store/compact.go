@@ -2,22 +2,38 @@ package store
 
 import (
 	"cmp"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
 
+	"implicitlayout/internal/blockio"
 	"implicitlayout/internal/par"
 )
 
 // maintain drains all pending background work: flush every frozen
 // memtable to a level-0 run, then merge levels until each holds fewer
 // than Fanout runs. It is the drain function of the DB's par.Worker and
-// is also called synchronously by Flush; the compact mutex serializes
-// the two, so run-stack surgery has exactly one writer. Writers are
-// never blocked — each step does its expensive work (build, export,
-// merge) against immutable inputs and only takes db.mu for the final
-// snapshot swap.
+// is also called synchronously by Flush and Close; the compact mutex
+// serializes the callers, so run-stack surgery has exactly one writer.
+// Writers are never blocked — each step does its expensive work (build,
+// export, merge, segment write) against immutable inputs and only takes
+// db.mu for the final snapshot swap.
 func (db *DB[K, V]) maintain() {
 	db.compact.Lock()
 	defer db.compact.Unlock()
 	for {
+		if db.dir != "" && db.err() != nil {
+			// After the first durability failure the DB stops changing
+			// its on-disk state: no further segment may commit, because
+			// committing newer data while e.g. an obsolete WAL refused
+			// deletion could let that stale log shadow the newer
+			// segment at the next recovery. Frozen tables keep serving
+			// from memory, their sealed WALs keep their records safe.
+			return
+		}
 		if db.flushOne() {
 			continue
 		}
@@ -34,19 +50,32 @@ func (db *DB[K, V]) maintain() {
 // build pipeline's sort stage sees already-ordered input and the real
 // cost is the parallel layout permutation — the paper's construction
 // primitive is the flush path.
+//
+// In durable mode the run is published by the manifest swap protocol:
+// segment file written and fsynced first, manifest rewritten to name it
+// (the commit point), in-memory state swapped, and only then is the
+// flushed memtable's now-redundant WAL deleted. A crash anywhere in the
+// sequence loses nothing: before the commit point the WAL still carries
+// the records (the orphan segment is garbage-collected at the next
+// Open); after it, the segment does (a surviving WAL replays into
+// records that the newer recovery run shadows harmlessly).
 func (db *DB[K, V]) flushOne() bool {
 	st := db.state.Load()
 	if len(st.frozen) == 0 {
 		return false
 	}
 	m := st.frozen[len(st.frozen)-1] // oldest: flush order preserves run recency
-	recs := m.sortedRecs()
-	keys := make([]K, len(recs))
-	vals := make([]mval[V], len(recs))
-	for i, r := range recs {
-		keys[i], vals[i] = r.key, r.mv
-	}
+	keys, vals := unzipRecs(m.sortedRecs())
 	newRun := &run[K, V]{st: db.buildRun(keys, vals), level: 0}
+
+	if db.dir != "" {
+		// Only maintain() mutates runs and we hold the compact mutex, so
+		// st.runs is still current for the manifest.
+		if _, err := db.persistRun(newRun, st.runs); err != nil {
+			db.setErr(err)
+			return false // records stay safe: in the frozen table and its WAL
+		}
+	}
 
 	db.mu.Lock()
 	cur := db.state.Load() // frozen may have grown at the front meanwhile
@@ -56,6 +85,20 @@ func (db *DB[K, V]) flushOne() bool {
 	}
 	db.state.Store(ns)
 	db.mu.Unlock()
+
+	if m.wal != nil {
+		// The segment is committed; the WAL is redundant — but a WAL
+		// that refuses deletion is NOT harmless garbage: left behind, a
+		// future recovery would replay it into the newest run, where
+		// its stale records could shadow anything committed afterwards.
+		// A failed removal therefore turns the sticky error on, which
+		// (via maintain's gate) freezes the on-disk state so nothing
+		// newer can ever land behind the stale log.
+		if err := os.Remove(m.wal.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			db.setErr(fmt.Errorf("store: removing flushed WAL: %w", err))
+		}
+		m.wal = nil
+	}
 	return true
 }
 
@@ -67,6 +110,10 @@ func (db *DB[K, V]) flushOne() bool {
 // first-hit-wins, and builds the result into a fresh sharded layout. A
 // merge that consumes the oldest run drops tombstones too — nothing
 // older exists for them to shadow.
+//
+// Durable mode follows the same swap protocol as flushOne: merged
+// segment written first, manifest rewritten without the victims (the
+// commit point), state swapped, victims' files deleted last.
 func (db *DB[K, V]) mergeOne() bool {
 	st := db.state.Load()
 	lo, hi, ok := overFullLevel(st.runs, db.cfg.Fanout)
@@ -101,27 +148,48 @@ func (db *DB[K, V]) mergeOne() bool {
 
 	var newRun *run[K, V]
 	if len(merged) > 0 { // all-tombstone merges can compact to nothing
-		keys := make([]K, len(merged))
-		vals := make([]mval[V], len(merged))
-		for i, rec := range merged {
-			keys[i], vals[i] = rec.key, rec.mv
-		}
+		keys, vals := unzipRecs(merged)
 		newRun = &run[K, V]{st: db.buildRun(keys, vals), level: level + 1}
 	}
 
-	db.mu.Lock()
-	cur := db.state.Load()
-	// Only maintain() mutates runs and we hold the compact mutex, so the
-	// victims still occupy [lo, hi) — but cur.frozen may differ from
-	// st.frozen, so rebuild the state from cur.
-	nr := make([]*run[K, V], 0, len(cur.runs)-(hi-lo)+1)
-	nr = append(nr, cur.runs[:lo]...)
+	// The post-merge run stack: victims [lo, hi) replaced by the merged
+	// run. Only maintain() mutates runs (compact mutex held), so this
+	// slice is exact for both the manifest and the snapshot swap.
+	nr := make([]*run[K, V], 0, len(st.runs)-(hi-lo)+1)
+	nr = append(nr, st.runs[:lo]...)
 	if newRun != nil {
+		if db.dir != "" {
+			file, err := db.writeSegment(newRun.st)
+			if err != nil {
+				db.setErr(err)
+				return false // victims stay live; merge retries after the error clears
+			}
+			newRun.file = file
+		}
 		nr = append(nr, newRun)
 	}
-	nr = append(nr, cur.runs[hi:]...)
+	nr = append(nr, st.runs[hi:]...)
+	if db.dir != "" {
+		if err := db.commitManifest(nr); err != nil {
+			db.setErr(err)
+			if newRun != nil {
+				os.Remove(filepath.Join(db.dir, newRun.file)) // orphan: best-effort GC
+			}
+			return false
+		}
+	}
+
+	db.mu.Lock()
+	cur := db.state.Load() // cur.frozen may differ from st.frozen; runs cannot
 	db.state.Store(&dbstate[K, V]{frozen: cur.frozen, runs: nr})
 	db.mu.Unlock()
+
+	// The manifest no longer names the victims; their files are garbage.
+	for _, victim := range st.runs[lo:hi] {
+		if victim.file != "" {
+			os.Remove(filepath.Join(db.dir, victim.file))
+		}
+	}
 	return true
 }
 
@@ -153,4 +221,59 @@ func (db *DB[K, V]) buildRun(keys []K, vals []mval[V]) *Store[K, mval[V]] {
 		panic("store: run build failed: " + err.Error())
 	}
 	return st
+}
+
+// persistRun publishes newRun as the newest run: segment file written,
+// then the manifest rewritten to name [newRun] + rest — the commit
+// point shared by background flushes (flushOne) and recovery flushes
+// (flushRecovered). On manifest failure the orphan segment is removed;
+// newRun.file is set on success. The returned slice is the committed
+// run stack.
+func (db *DB[K, V]) persistRun(newRun *run[K, V], rest []*run[K, V]) ([]*run[K, V], error) {
+	file, err := db.writeSegment(newRun.st)
+	if err != nil {
+		return nil, err
+	}
+	newRun.file = file
+	nr := append([]*run[K, V]{newRun}, rest...)
+	if err := db.commitManifest(nr); err != nil {
+		os.Remove(filepath.Join(db.dir, file)) // orphan: best-effort GC
+		return nil, err
+	}
+	return nr, nil
+}
+
+// writeSegment persists one run's Store as a new segment file — written
+// to a temp file, fsynced, renamed into place, directory fsynced — and
+// returns its base name. The file is not live until a manifest names it.
+func (db *DB[K, V]) writeSegment(st *Store[K, mval[V]]) (string, error) {
+	path := segmentPath(db.dir, db.nextSeq.Add(1)-1)
+	err := blockio.WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := writeRunStream(w, st)
+		return err
+	})
+	if err != nil {
+		return "", fmt.Errorf("store: writing segment: %w", err)
+	}
+	return filepath.Base(path), nil
+}
+
+// readSegmentFile reopens one segment as a servable run Store.
+func (db *DB[K, V]) readSegmentFile(name string) (*Store[K, mval[V]], error) {
+	f, err := os.Open(filepath.Join(db.dir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readRunStream[K, V](f, db.workers)
+}
+
+// commitManifest atomically rewrites the manifest to name exactly the
+// given run stack — the commit point of every flush and merge.
+func (db *DB[K, V]) commitManifest(runs []*run[K, V]) error {
+	m := manifest{Segments: make([]manifestSeg, len(runs))}
+	for i, r := range runs {
+		m.Segments[i] = manifestSeg{File: r.file, Level: r.level}
+	}
+	return writeManifest(db.dir, m)
 }

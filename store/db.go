@@ -2,10 +2,16 @@ package store
 
 import (
 	"cmp"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"implicitlayout/internal/blockio"
 	"implicitlayout/internal/par"
 )
 
@@ -16,7 +22,10 @@ const DefaultMemLimit = 1 << 15
 // the compactor merges them into one run of the next level.
 const DefaultFanout = 4
 
-// DBConfig parameterizes NewDB; zero fields select defaults.
+// ErrClosed is returned by writes issued after Close.
+var ErrClosed = errors.New("store: db is closed")
+
+// DBConfig parameterizes NewDB and Open; zero fields select defaults.
 type DBConfig struct {
 	// MemLimit is the memtable size (in records, tombstones included) at
 	// which the write path freezes it for flushing (default
@@ -25,6 +34,18 @@ type DBConfig struct {
 	// Fanout is the number of runs per level that triggers a merge into
 	// the next level (default DefaultFanout).
 	Fanout int
+	// SyncWrites, in durable mode, fsyncs the write-ahead log after
+	// every Put and Delete before acknowledging it, extending the crash
+	// guarantee from "process crash loses nothing" to "OS or power
+	// failure loses nothing" — at the cost of one disk sync per write.
+	// The sync happens outside the DB's mutex, after the record is
+	// logged and applied, so concurrent readers never stall behind it,
+	// and one writer's fsync covers every append that preceded it (a
+	// natural group commit under concurrency). With SyncWrites off (the
+	// default), every acked write still reaches the OS before the call
+	// returns, and the log is always fsynced when a memtable freezes.
+	// Ignored in memory-only mode.
+	SyncWrites bool
 	// Store holds the build options every run is built with — layout,
 	// shard count, B, workers, permutation algorithm. WithDuplicates is
 	// ignored: the write path has overwrite semantics, so runs are always
@@ -61,25 +82,59 @@ type DBConfig struct {
 // A DB is safe for concurrent use: any number of readers may overlap
 // with any number of writers and with background compaction. Writes are
 // applied one at a time (last writer wins on a key); reads are
-// point-in-time against the state they start from. The DB is in-memory
-// only — Close stops the background compactor and nothing needs to be
-// persisted.
+// point-in-time against the state they start from.
+//
+// A DB opened with NewDB (or Open with an empty directory path) is
+// memory-only: nothing survives the process. A DB opened with Open on a
+// directory is durable — every Put and Delete is appended to a
+// write-ahead log before it is acknowledged, flushed runs are written as
+// checksummed segment files holding the permuted arrays verbatim, and an
+// atomically rewritten manifest names the live segments, so a reopened
+// directory serves every acknowledged write without re-sorting or
+// re-permuting anything that had reached a segment.
 type DB[K cmp.Ordered, V any] struct {
-	cfg      DBConfig
-	runOpts  []Option // cfg.Store + the forced KeepLast policy
-	mu       sync.RWMutex
-	active   *memtable[K, V]
-	state    atomic.Pointer[dbstate[K, V]]
-	compact  sync.Mutex // serializes maintain(): background worker vs Flush/Compact
-	worker   *par.Worker
-	workers  int // parallelism for compaction-time merge, from the build config
-	closedMu sync.Mutex
-	closed   bool
+	cfg     DBConfig
+	dir     string   // "" = memory-only
+	unlock  func()   // releases the directory flock (durable mode)
+	runOpts []Option // cfg.Store + the forced KeepLast policy
+	mu      sync.RWMutex
+	active  *memtable[K, V]
+	wal     *walWriter // active memtable's log; nil when memory-only or closed (guarded by mu)
+	closed  bool       // guarded by mu
+	nextSeq atomic.Uint64
+	state   atomic.Pointer[dbstate[K, V]]
+	compact sync.Mutex // serializes maintain(): background worker vs Flush/Close
+	worker  *par.Worker
+	workers int // parallelism for compaction-time merge, from the build config
+	errMu   sync.Mutex
+	ioErr   error // first durability failure; sticky, fails all later writes
 }
 
-// NewDB opens an empty writable store. The configuration is validated
-// eagerly (unknown layouts fail here, not at first flush).
+// NewDB opens an empty memory-only writable store — Open with no
+// directory. The configuration is validated eagerly (unknown layouts
+// fail here, not at first flush).
 func NewDB[K cmp.Ordered, V any](cfg DBConfig) (*DB[K, V], error) {
+	return Open[K, V]("", cfg)
+}
+
+// Open opens a writable store backed by dir, creating the directory if
+// needed. An empty dir selects memory-only mode (NewDB). Otherwise the
+// directory's manifest names the live segment files, each of which is
+// reopened by reading its permuted shard arrays straight into memory —
+// no re-sort, no re-permute — and any write-ahead logs left by a crash
+// or unclean shutdown are replayed, flushed into a fresh level-0
+// segment, and deleted, so the acknowledged history is intact before
+// Open returns. (A log damaged beyond its tail is preserved under a
+// ".corrupt" suffix rather than deleted: its intact prefix is recovered,
+// the rest is kept for inspection.)
+//
+// The directory is held exclusively: Open takes an advisory flock on a
+// LOCK file inside it, so a second Open — from this or another process
+// — fails instead of corrupting the first opener's log and manifest.
+// The lock dies with the process; Close releases it early. On platforms
+// without flock (non-unix builds) this exclusivity is documented but
+// not enforced — never point two DBs at one directory there.
+func Open[K cmp.Ordered, V any](dir string, cfg DBConfig) (*DB[K, V], error) {
 	if cfg.MemLimit == 0 {
 		cfg.MemLimit = DefaultMemLimit
 	}
@@ -105,48 +160,288 @@ func NewDB[K cmp.Ordered, V any](cfg DBConfig) (*DB[K, V], error) {
 		workers: buildConfig(1, cfg.Store).Workers,
 	}
 	db.state.Store(&dbstate[K, V]{})
+	if dir != "" {
+		if err := db.openDir(dir); err != nil {
+			return nil, err
+		}
+	}
 	db.worker = par.NewWorker(db.maintain)
 	return db, nil
 }
 
-// Put stores val under key, overwriting any existing value.
-func (db *DB[K, V]) Put(key K, val V) {
-	db.write(key, mval[V]{val: val})
+// openDir performs the durable half of Open: manifest load, segment
+// reopen, stale-file cleanup, WAL replay and recovery flush, and the
+// creation of the active memtable's log.
+func (db *DB[K, V]) openDir(dir string) error {
+	db.dir = dir
+	// Durable mode ships keys and values through gob; reject types it
+	// cannot carry now, not at the first Put.
+	var zeroK K
+	if _, _, err := encodeWALRecord(zeroK, mval[V]{}); err != nil {
+		return fmt.Errorf("store: durable mode requires gob-encodable key and value types: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating db directory: %w", err)
+	}
+	unlock, err := lockDir(dir)
+	if err != nil {
+		return err
+	}
+	db.unlock = unlock
+	fail := func(err error) error {
+		unlock()
+		return err
+	}
+	man, found, err := readManifest(dir)
+	if err != nil {
+		return fail(err)
+	}
+	// Reopen every named segment concurrently — each is an independent
+	// straight read of its permuted arrays, so recovery time is bounded
+	// by the largest segment, not the segment count.
+	runs := make([]*run[K, V], len(man.Segments))
+	live := make(map[string]bool, len(man.Segments))
+	segErrs := make([]error, len(man.Segments))
+	for _, seg := range man.Segments {
+		live[seg.File] = true
+	}
+	par.New(db.workers).Tasks(len(man.Segments), func(i int, _ par.Runner) {
+		seg := man.Segments[i]
+		st, err := db.readSegmentFile(seg.File)
+		if err != nil {
+			segErrs[i] = fmt.Errorf("store: reopening segment %s: %w", seg.File, err)
+			return
+		}
+		runs[i] = &run[K, V]{st: st, level: seg.Level, file: seg.File}
+	})
+	if err := errors.Join(segErrs...); err != nil {
+		return fail(err)
+	}
+
+	// Inventory the directory: find the WAL files to replay, delete
+	// segments the manifest no longer references and temp files a
+	// crashed atomic rewrite left behind (we hold the flock, so no live
+	// writer owns one), and recover the naming sequence from the
+	// highest number in use.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fail(fmt.Errorf("store: reading db directory: %w", err))
+	}
+	var walSeqs []uint64
+	var maxSeq uint64
+	for _, e := range entries {
+		name := e.Name()
+		if seq, ok := parseSegmentSeq(name); ok {
+			if !found {
+				// The protocol stamps a manifest before the first
+				// segment ever exists, so segments without one mean the
+				// authoritative list was lost to external damage.
+				// Treating this as a fresh store would GC real data —
+				// refuse instead.
+				return fail(fmt.Errorf("store: %s holds segment files but no MANIFEST; refusing to open it as a fresh store", dir))
+			}
+			maxSeq = max(maxSeq, seq)
+			if !live[name] {
+				os.Remove(filepath.Join(dir, name)) // stray: GC, best-effort
+			}
+		} else if seq, ok := parseWALSeq(name); ok {
+			maxSeq = max(maxSeq, seq)
+			walSeqs = append(walSeqs, seq)
+		} else if base, isCorrupt := strings.CutSuffix(name, ".corrupt"); isCorrupt {
+			// Preserved damaged logs still pin their sequence numbers:
+			// reusing one would let a future rename clobber the very
+			// file that was kept for inspection.
+			if seq, ok := parseWALSeq(base); ok {
+				maxSeq = max(maxSeq, seq)
+			}
+		} else if strings.HasPrefix(name, ".tmp-") {
+			os.Remove(filepath.Join(dir, name)) // crashed WriteFileAtomic leftover
+		}
+	}
+	db.nextSeq.Store(maxSeq + 1)
+	db.state.Store(&dbstate[K, V]{runs: runs})
+	if !found {
+		// Stamp the fresh directory NOW, before any recovery flush can
+		// create a segment: from here on, "segments but no manifest"
+		// can only mean damage, which the check above turns into a
+		// refusal rather than a silent GC.
+		if err := writeManifest(dir, manifest{}); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Replay the logs oldest to newest into one recovery memtable —
+	// replay order is append order, so the newest version of every key
+	// wins — then flush it synchronously into a level-0 segment. After
+	// this the directory's segments alone carry the whole acknowledged
+	// history and every replayed log can go: clean and torn logs are
+	// deleted, a corrupt log keeps its intact-prefix recovery but is
+	// preserved under a ".corrupt" suffix instead of being destroyed.
+	slices.Sort(walSeqs)
+	rec := newMemtable[K, V]()
+	ends := make(map[uint64]walEnd, len(walSeqs))
+	for _, seq := range walSeqs {
+		_, end, err := replayWAL(walPath(dir, seq), rec.put)
+		if err != nil {
+			return fail(err)
+		}
+		ends[seq] = end
+	}
+	if rec.len() > 0 {
+		if err := db.flushRecovered(rec); err != nil {
+			return fail(err)
+		}
+	}
+	for _, seq := range walSeqs {
+		path := walPath(dir, seq)
+		if ends[seq] == walCorrupt {
+			err = os.Rename(path, path+".corrupt")
+		} else {
+			err = os.Remove(path)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("store: retiring replayed WAL: %w", err))
+		}
+	}
+	if len(walSeqs) > 0 {
+		if err := blockio.SyncDir(dir); err != nil {
+			return fail(err)
+		}
+	}
+
+	w, err := createWAL(dir, db.nextSeq.Add(1)-1)
+	if err != nil {
+		return fail(err)
+	}
+	db.wal = w
+	return nil
+}
+
+// flushRecovered turns the WAL-replay memtable into a level-0 segment
+// and commits it to the manifest — the recovery path's synchronous
+// equivalent of flushOne.
+func (db *DB[K, V]) flushRecovered(rec *memtable[K, V]) error {
+	keys, vals := unzipRecs(rec.sortedRecs())
+	newRun := &run[K, V]{st: db.buildRun(keys, vals), level: 0}
+	nr, err := db.persistRun(newRun, db.state.Load().runs)
+	if err != nil {
+		return err
+	}
+	db.state.Store(&dbstate[K, V]{runs: nr})
+	return nil
+}
+
+// Put stores val under key, overwriting any existing value. In durable
+// mode the write is appended to the write-ahead log before it is
+// applied. A nil error is the durability acknowledgment: the write is
+// applied and (under the configured sync policy) safe. A non-nil error
+// means the write was not acknowledged — it was either not applied at
+// all (log append failed) or, on a SyncWrites fsync failure, applied
+// but with its durability in doubt; either way the DB's error turns
+// sticky and refuses further writes, so an unacknowledged write is
+// never silently built upon. Writes after Close return ErrClosed.
+func (db *DB[K, V]) Put(key K, val V) error {
+	return db.write(key, mval[V]{val: val})
 }
 
 // Delete removes key by writing a tombstone: the deletion is a write
-// like any other, shadowing older versions of the key in frozen
-// memtables and runs until compaction physically drops them. Deleting an
-// absent key is a no-op that still costs a memtable slot until the next
-// flush.
-func (db *DB[K, V]) Delete(key K) {
-	db.write(key, mval[V]{dead: true})
+// like any other — logged ahead in durable mode, with Put's
+// acknowledgment semantics — shadowing older versions of the key in
+// frozen memtables and runs until compaction physically drops them.
+// Deleting an absent key is a no-op that still costs a memtable slot
+// until the next flush.
+func (db *DB[K, V]) Delete(key K) error {
+	return db.write(key, mval[V]{dead: true})
 }
 
-// write applies one record to the active memtable, freezing it for the
-// compactor when it reaches the limit. The critical section is one map
-// write plus, at worst, three slice headers of snapshot bookkeeping —
-// the expensive work (sorting, permuting, merging) all happens on the
-// compactor goroutine outside the lock.
-func (db *DB[K, V]) write(key K, mv mval[V]) {
+// write applies one record: log-ahead (durable mode), then the memtable
+// under a short mutex, freezing the table for the compactor when it
+// reaches the limit. The WAL append shares the memtable's mutex, which
+// is what makes log order equal apply order; the record is encoded
+// outside the lock and the SyncWrites fsync happens after the lock is
+// released (see walWriter.syncAck), so the critical section is one
+// unbuffered file write plus one map write even in the fully-durable
+// configuration. The expensive work (sorting, permuting, merging) all
+// happens on the compactor goroutine outside the lock.
+func (db *DB[K, V]) write(key K, mv mval[V]) error {
+	var tag byte
+	var payload []byte
+	if db.dir != "" {
+		var err error
+		tag, payload, err = encodeWALRecord(key, mv)
+		if err != nil {
+			return err
+		}
+	}
 	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if err := db.err(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	w := db.wal
+	if w != nil {
+		if err := w.append(tag, payload); err != nil {
+			db.setErr(err)
+			db.mu.Unlock()
+			return err
+		}
+	}
 	db.active.put(key, mv)
 	kick := false
 	if db.active.len() >= db.cfg.MemLimit {
-		db.freezeLocked()
+		db.freezeLocked(true)
 		kick = true
 	}
 	db.mu.Unlock()
 	if kick {
 		db.worker.Kick()
 	}
+	if w != nil && db.cfg.SyncWrites {
+		// The ack waits on the fsync, but readers do not: the record is
+		// already applied and the lock released. If a freeze sealed the
+		// log in the meantime, the seal's fsync covered the record.
+		if err := w.syncAck(); err != nil {
+			db.setErr(err)
+			return err
+		}
+	}
+	return nil
 }
 
 // freezeLocked moves the active memtable into the snapshot's frozen list
-// and installs a fresh one. Caller holds db.mu.
-func (db *DB[K, V]) freezeLocked() {
+// and installs a fresh one. In durable mode the outgoing table's log is
+// sealed (fsynced and closed) and travels with it until the flush that
+// makes it redundant; rotate selects whether a new log is created for
+// the fresh table (Close passes false — no further writes are coming).
+// Caller holds db.mu.
+//
+// A durable freeze deliberately pays two fsyncs under the lock (the
+// seal, and createWAL's directory sync): they order the old log's
+// durability ahead of the new log's existence, and at one freeze per
+// MemLimit writes the cost is amortized to noise — unlike the per-write
+// SyncWrites fsync, which is why that one lives outside the lock.
+func (db *DB[K, V]) freezeLocked(rotate bool) {
 	if db.active.len() == 0 {
+		if !rotate && db.wal != nil {
+			// Clean shutdown with an empty active table: its log holds
+			// nothing — discard it.
+			if err := db.wal.discard(); err != nil {
+				db.setErr(err)
+			}
+			db.wal = nil
+		}
 		return
+	}
+	if db.wal != nil {
+		if err := db.wal.seal(); err != nil {
+			db.setErr(err)
+		}
+		db.active.wal = db.wal
+		db.wal = nil
 	}
 	st := db.state.Load()
 	ns := &dbstate[K, V]{
@@ -155,6 +450,14 @@ func (db *DB[K, V]) freezeLocked() {
 	}
 	db.state.Store(ns)
 	db.active = newMemtable[K, V]()
+	if rotate && db.dir != "" {
+		w, err := createWAL(db.dir, db.nextSeq.Add(1)-1)
+		if err != nil {
+			db.setErr(err) // sticky: every later write fails rather than going unlogged
+		} else {
+			db.wal = w
+		}
+	}
 }
 
 // Get returns the newest live value stored under key, or ok == false if
@@ -243,28 +546,59 @@ func (db *DB[K, V]) rangeMerge(lo, hi K, all bool, yield func(key K, val V) bool
 
 // Flush synchronously freezes the active memtable (if non-empty) and
 // drains all pending compaction work: on return every record is in a
-// run, the memtable and frozen list are empty, and the level invariant
-// (fewer than Fanout runs per level) holds. Concurrent writers may of
-// course repopulate the memtable immediately.
-func (db *DB[K, V]) Flush() {
+// run — in durable mode, in a manifest-committed segment file — the
+// memtable and frozen list are empty, and the level invariant (fewer
+// than Fanout runs per level) holds. Concurrent writers may of course
+// repopulate the memtable immediately. The returned error is the DB's
+// sticky durability error, nil in memory-only mode.
+func (db *DB[K, V]) Flush() error {
 	db.mu.Lock()
-	db.freezeLocked()
+	db.freezeLocked(true)
 	db.mu.Unlock()
 	db.maintain()
+	return db.err()
 }
 
-// Close stops the background compactor and waits for any in-flight
-// compaction to finish. The DB stays readable and even writable after
-// Close, but frozen memtables are no longer flushed in the background —
-// call Flush to drain synchronously. Close is idempotent.
-func (db *DB[K, V]) Close() {
-	db.closedMu.Lock()
-	defer db.closedMu.Unlock()
+// Close shuts the DB down cleanly: it freezes the active memtable,
+// flushes every frozen memtable — not just the newest — through the
+// compactor, and stops the background worker, so in durable mode no
+// acknowledged write is left outside a manifest-committed segment and
+// the directory reopens with nothing to replay. After Close the DB stays
+// readable (reads serve the final state), but Put and Delete return
+// ErrClosed. Close is idempotent; it returns the DB's sticky durability
+// error, nil in memory-only mode.
+func (db *DB[K, V]) Close() error {
+	db.mu.Lock()
 	if db.closed {
-		return
+		db.mu.Unlock()
+		return db.err()
 	}
 	db.closed = true
+	db.freezeLocked(false)
+	db.mu.Unlock()
+	db.maintain() // drain ALL frozen memtables (and merges) synchronously
 	db.worker.Close()
+	if db.unlock != nil {
+		db.unlock() // release the directory for the next opener
+	}
+	return db.err()
+}
+
+// err returns the sticky durability error.
+func (db *DB[K, V]) err() error {
+	db.errMu.Lock()
+	defer db.errMu.Unlock()
+	return db.ioErr
+}
+
+// setErr records the first durability failure; later writes return it
+// instead of acknowledging data the log no longer protects.
+func (db *DB[K, V]) setErr(err error) {
+	db.errMu.Lock()
+	if db.ioErr == nil {
+		db.ioErr = err
+	}
+	db.errMu.Unlock()
 }
 
 // DBStats is a point-in-time observability snapshot of a DB's shape.
@@ -274,6 +608,9 @@ type DBStats struct {
 	MemRecords int
 	// FrozenTables is the number of memtables frozen but not yet flushed.
 	FrozenTables int
+	// DiskRuns is the number of runs backed by a segment file on disk
+	// (0 in memory-only mode).
+	DiskRuns int
 	// RunRecords and RunLevels describe the run stack newest-first:
 	// run i holds RunRecords[i] records (tombstones included) at level
 	// RunLevels[i].
@@ -302,6 +639,9 @@ func (db *DB[K, V]) Stats() DBStats {
 	for i, r := range st.runs {
 		stats.RunRecords[i] = r.st.Len()
 		stats.RunLevels[i] = r.level
+		if r.file != "" {
+			stats.DiskRuns++
+		}
 	}
 	return stats
 }

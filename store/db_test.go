@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -265,22 +266,73 @@ func TestDBConfigValidation(t *testing.T) {
 	}
 }
 
-func TestDBCloseIdempotentAndUsableAfter(t *testing.T) {
+func TestDBCloseDrainsAndBlocksWrites(t *testing.T) {
 	db, err := NewDB[int, int](DBConfig{MemLimit: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	db.Put(1, 1)
-	db.Close()
-	db.Close() // idempotent
-	db.Put(2, 2)
-	db.Put(3, 3)
-	db.Put(4, 4)
-	db.Put(5, 5) // crosses MemLimit: freeze + kick on closed worker is a no-op
-	db.Flush()   // synchronous drain still works
-	for k := 1; k <= 5; k++ {
+	for k := 1; k <= 10; k++ {
+		if err := db.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	// Close must have drained every layer into runs — the active
+	// memtable AND all frozen tables — so a clean shutdown never
+	// strands an acknowledged write in a volatile layer.
+	st := db.Stats()
+	if st.MemRecords != 0 || st.FrozenTables != 0 {
+		t.Fatalf("after Close: %+v; want everything flushed into runs", st)
+	}
+	// The DB stays readable; writes are refused.
+	for k := 1; k <= 10; k++ {
 		if v, ok := db.Get(k); !ok || v != k {
 			t.Fatalf("after Close: Get(%d) = %d, %v", k, v, ok)
+		}
+	}
+	if err := db.Put(11, 11); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close returned %v, want ErrClosed", err)
+	}
+	if err := db.Delete(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete after Close returned %v, want ErrClosed", err)
+	}
+	if v, ok := db.Get(1); !ok || v != 1 {
+		t.Fatalf("refused Delete still took effect: Get(1) = %d, %v", v, ok)
+	}
+}
+
+// TestDBCloseFlushesAllFrozen pins the Close contract on a backlog of
+// several frozen memtables: with the background worker already stopped,
+// freezes pile up and only Close's own synchronous drain can flush them.
+func TestDBCloseFlushesAllFrozen(t *testing.T) {
+	db, err := NewDB[int, int](DBConfig{MemLimit: 4, Fanout: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.worker.Close() // simulate a busy/stopped compactor: kicks are no-ops
+	for k := 0; k < 20; k++ {
+		if err := db.Put(k, k*k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := db.Stats(); st.FrozenTables < 2 {
+		t.Fatalf("test needs a frozen backlog, got %+v", st)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.MemRecords != 0 || st.FrozenTables != 0 {
+		t.Fatalf("Close left unflushed layers: %+v", st)
+	}
+	for k := 0; k < 20; k++ {
+		if v, ok := db.Get(k); !ok || v != k*k {
+			t.Fatalf("after Close: Get(%d) = %d, %v; want %d", k, v, ok, k*k)
 		}
 	}
 }

@@ -1,0 +1,37 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on dir's LOCK file, enforcing
+// the one-opener-per-directory contract: a second Open — from this or
+// any other process — fails immediately instead of corrupting the first
+// opener's write-ahead log and manifest. flock locks die with their
+// process, so a crash never leaves a stale lock behind; the LOCK file
+// itself is inert and stays in the directory. The returned release is
+// idempotent.
+func lockDir(dir string) (release func(), err error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is already open in another DB (flock: %w)", dir, err)
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+			f.Close()
+		})
+	}, nil
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+// lockDir on platforms without flock: the one-opener-per-directory
+// contract is documented but not enforced.
+func lockDir(dir string) (release func(), err error) {
+	return func() {}, nil
+}

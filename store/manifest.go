@@ -1,0 +1,118 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"implicitlayout/internal/blockio"
+)
+
+// The manifest is the authoritative list of live segments: one small
+// file, MANIFEST, naming every segment the run stack is made of (newest
+// first, with each segment's compaction level). It is never edited in
+// place — every mutation writes a complete replacement through
+// blockio.WriteFileAtomic (temp file, fsync, rename, directory fsync),
+// so a reopen after a crash sees either the old segment set or the new
+// one, both complete and internally consistent.
+//
+// The swap protocol for every flush and compaction is:
+//
+//	1. write the new segment to a temp file, fsync, rename into place
+//	2. rewrite MANIFEST to the new segment list (atomically, as above)
+//	3. publish the new in-memory state to readers
+//	4. delete the files the new manifest no longer references
+//	   (obsoleted segments, the flushed memtable's WAL)
+//
+// The manifest rewrite at step 2 is the commit point. A crash before it
+// leaves stray segment files that the next Open garbage-collects; a
+// crash after it leaves stray inputs that Open also garbage-collects
+// (step 4's deletions are pure cleanup). At no point does the manifest
+// reference a file that is not fully on disk.
+
+const (
+	manifestName    = "MANIFEST"
+	manifestMagic   = "ILMAN\x01"
+	manifestVersion = 1
+
+	tagManifest = 'm'
+)
+
+// manifestSeg names one live segment.
+type manifestSeg struct {
+	File  string // base name within the DB directory
+	Level int    // compaction level (0 = flushed memtable)
+}
+
+// manifest is the decoded MANIFEST content. Segments are ordered newest
+// first, matching the DB's run stack (and therefore level-ascending).
+type manifest struct {
+	Version  int
+	Segments []manifestSeg
+}
+
+// writeManifest atomically replaces dir's MANIFEST.
+func writeManifest(dir string, m manifest) error {
+	m.Version = manifestVersion
+	return blockio.WriteFileAtomic(filepath.Join(dir, manifestName), func(w io.Writer) error {
+		if _, err := io.WriteString(w, manifestMagic); err != nil {
+			return err
+		}
+		return writeGobFrame(blockio.NewWriter(w), tagManifest, m)
+	})
+}
+
+// readManifest loads dir's MANIFEST; ok is false when none exists (a
+// fresh directory). Unlike a WAL tail, a damaged manifest is a hard
+// error: it is rewritten atomically, so it is either absent, or complete
+// and checksummed — a mismatch means real corruption, and guessing at
+// the segment list would serve wrong data.
+func readManifest(dir string) (m manifest, ok bool, err error) {
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("store: opening manifest: %w", err)
+	}
+	defer f.Close()
+	magic := make([]byte, len(manifestMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return manifest{}, false, fmt.Errorf("store: reading manifest magic: %w", err)
+	}
+	if string(magic) != manifestMagic {
+		return manifest{}, false, fmt.Errorf("store: MANIFEST is not a manifest (magic %q)", magic)
+	}
+	if err := readGobFrame(blockio.NewReader(f), tagManifest, &m); err != nil {
+		return manifest{}, false, err
+	}
+	if m.Version != manifestVersion {
+		return manifest{}, false, fmt.Errorf("store: manifest version %d, this build reads %d",
+			m.Version, manifestVersion)
+	}
+	for i, s := range m.Segments {
+		if s.File != filepath.Base(s.File) || s.File == "" {
+			return manifest{}, false, fmt.Errorf("store: manifest names invalid segment file %q", s.File)
+		}
+		if i > 0 && s.Level < m.Segments[i-1].Level {
+			return manifest{}, false, fmt.Errorf("store: manifest segment levels not ascending: %v", m.Segments)
+		}
+	}
+	return m, true, nil
+}
+
+// segmentPath names a segment file for the given sequence number.
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%016x.seg", seq))
+}
+
+// parseSegmentSeq extracts the sequence number from a segment file
+// name. The match is exact, so derived or temp names never count.
+func parseSegmentSeq(name string) (seq uint64, ok bool) {
+	if _, err := fmt.Sscanf(name, "seg-%016x.seg", &seq); err != nil {
+		return 0, false
+	}
+	return seq, name == fmt.Sprintf("seg-%016x.seg", seq)
+}

@@ -39,6 +39,11 @@ type memtable[K cmp.Ordered, V any] struct {
 	m        map[K]mval[V]
 	sortOnce sync.Once
 	sorted   []mrec[K, V]
+	// wal is the sealed write-ahead log that carries this table's
+	// records (durable mode, set at freeze). It outlives the table just
+	// long enough for the flush that persists the records as a segment,
+	// which then deletes it.
+	wal *walWriter
 }
 
 func newMemtable[K cmp.Ordered, V any]() *memtable[K, V] {

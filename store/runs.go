@@ -15,6 +15,10 @@ import (
 type run[K cmp.Ordered, V any] struct {
 	st    *Store[K, mval[V]]
 	level int
+	// file is the run's segment file (base name inside the DB
+	// directory), or "" in memory-only mode. A run with a file is
+	// durable: its records survive a restart without the WAL.
+	file string
 }
 
 // dbstate is the immutable half of a DB, published through one atomic
@@ -126,6 +130,17 @@ func zipRecs[K cmp.Ordered, V any](keys []K, vals []mval[V]) []mrec[K, V] {
 		recs[i] = mrec[K, V]{key: keys[i], mv: vals[i]}
 	}
 	return recs
+}
+
+// unzipRecs splits merge records back into the parallel key and payload
+// slices a run build ingests — zipRecs' inverse.
+func unzipRecs[K cmp.Ordered, V any](recs []mrec[K, V]) ([]K, []mval[V]) {
+	keys := make([]K, len(recs))
+	vals := make([]mval[V], len(recs))
+	for i, r := range recs {
+		keys[i], vals[i] = r.key, r.mv
+	}
+	return keys, vals
 }
 
 // compactRecs resolves a merged record slice in place: the slice holds

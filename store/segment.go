@@ -1,0 +1,377 @@
+package store
+
+import (
+	"bytes"
+	"cmp"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+
+	"implicitlayout/internal/blockio"
+	"implicitlayout/layout"
+	"implicitlayout/perm"
+	"implicitlayout/search"
+)
+
+// The segment codec serializes a built Store so it can be reopened
+// without re-sorting or re-permuting: the per-shard key and value arrays
+// are written exactly as they sit in memory — already permuted into
+// their layout — so reading a segment back is a copy into fresh slices
+// plus index reconstruction, never a rebuild. The permuted array IS the
+// on-disk format, which is the external-memory payoff of an implicit
+// (pointer-free) layout: there is nothing to deserialize.
+//
+// A segment is a magic prefix followed by blockio frames:
+//
+//	"ILSEG\x01"
+//	frame 'h': gob(segHeader)      version, structure, shard lengths
+//	per shard, in fence order:
+//	  frame 'k': gob([]K)          the shard's permuted key array
+//	  frame 'v': gob([]V)          plain payloads (omitted for key sets)
+//	  — or, for DB run segments —
+//	  frame 'w': gob([]V)          raw values, tombstone slots zeroed
+//	  frame 't': bitmap            tombstone bit per shard position
+//	frame 'e': gob(segTrailer)     record count; doubles as an end marker
+//
+// Every frame carries a CRC-32C (see internal/blockio), so truncation
+// surfaces as a torn or missing trailer and bit rot as a checksum
+// mismatch. The trailer is what distinguishes "complete" from "cut
+// short": a reader that has not seen frame 'e' refuses the file.
+
+const (
+	segMagic   = "ILSEG\x01"
+	segVersion = 1
+
+	tagSegHeader  = 'h'
+	tagSegKeys    = 'k'
+	tagSegVals    = 'v'
+	tagSegRawVals = 'w'
+	tagSegTombs   = 't'
+	tagSegTrailer = 'e'
+)
+
+// Payload kinds: a plain segment stores user values directly; a run
+// segment stores the DB's mval payloads as a raw value array plus a
+// tombstone bitmap, so the value type itself never needs to understand
+// deletion markers (and gob never sees the unexported mval fields).
+const (
+	segPayloadPlain = iota
+	segPayloadRun
+)
+
+// segHeader is frame 'h': everything needed to rebuild the Store's
+// structure around the raw arrays.
+type segHeader struct {
+	Version    int
+	Payload    int   // segPayloadPlain or segPayloadRun
+	Records    int   // total records across shards
+	HasVals    bool  // false for key-set stores (no value frames at all)
+	Layout     int   // layout.Kind the shards are permuted into
+	B          int   // B-tree node capacity the shards were built with
+	Algorithm  int   // perm.Algorithm, kept for Rebuild fidelity
+	Duplicates int   // DuplicatePolicy the store was built with
+	ShardLens  []int // per-shard record counts, in fence order
+}
+
+// segTrailer is frame 'e': the completeness marker.
+type segTrailer struct {
+	Records int
+}
+
+// segCodec abstracts how a shard's value slice crosses the codec: one
+// gob frame for plain stores, raw values + tombstone bitmap for DB runs.
+// readShard fills dst (length 0, capacity n — a window into the store's
+// preallocated value array) with exactly n decoded payloads.
+type segCodec[V any] interface {
+	kind() int
+	writeShard(bw *blockio.Writer, vals []V) error
+	readShard(br *blockio.Reader, n int, dst []V) error
+}
+
+// plainCodec serializes values as one gob frame per shard. V must be
+// gob-encodable (exported fields, no functions or channels).
+type plainCodec[V any] struct{}
+
+func (plainCodec[V]) kind() int { return segPayloadPlain }
+
+func (plainCodec[V]) writeShard(bw *blockio.Writer, vals []V) error {
+	return writeGobFrame(bw, tagSegVals, vals)
+}
+
+func (plainCodec[V]) readShard(br *blockio.Reader, n int, dst []V) error {
+	return readGobSlice(br, tagSegVals, n, dst)
+}
+
+// runCodec serializes the DB's mval payloads: the raw user values in one
+// frame (tombstone slots hold the zero value) and the tombstone bits in
+// a second, so the wire format needs no knowledge of mval's layout.
+type runCodec[V any] struct{}
+
+func (runCodec[V]) kind() int { return segPayloadRun }
+
+func (runCodec[V]) writeShard(bw *blockio.Writer, vals []mval[V]) error {
+	raw := make([]V, len(vals))
+	dead := make([]byte, (len(vals)+7)/8)
+	for i, mv := range vals {
+		if mv.dead {
+			dead[i/8] |= 1 << (i % 8)
+		} else {
+			raw[i] = mv.val
+		}
+	}
+	if err := writeGobFrame(bw, tagSegRawVals, raw); err != nil {
+		return err
+	}
+	return bw.WriteBlock(tagSegTombs, dead)
+}
+
+func (runCodec[V]) readShard(br *blockio.Reader, n int, dst []mval[V]) error {
+	// The wire holds raw values and a bitmap, the store holds mval — one
+	// scratch slice for the raw decode is inherent to the translation.
+	raw := make([]V, 0, n)
+	if err := readGobSlice(br, tagSegRawVals, n, raw); err != nil {
+		return err
+	}
+	raw = raw[:n]
+	tag, dead, err := br.Next()
+	if err != nil {
+		return fmt.Errorf("store: segment tombstone bitmap: %w", err)
+	}
+	if tag != tagSegTombs || len(dead) != (n+7)/8 {
+		return fmt.Errorf("store: segment tombstone bitmap malformed (tag %q, %d bytes for %d records)",
+			tag, len(dead), n)
+	}
+	vals := dst[:n]
+	for i := range vals {
+		if dead[i/8]&(1<<(i%8)) != 0 {
+			vals[i] = mval[V]{dead: true}
+		} else {
+			vals[i] = mval[V]{val: raw[i]}
+		}
+	}
+	return nil
+}
+
+// writeGobFrame and readGobFrame are the gob-payload-in-a-frame codec
+// shared by the segment and manifest formats.
+func writeGobFrame(bw *blockio.Writer, tag byte, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("store: encoding frame %q: %w", tag, err)
+	}
+	return bw.WriteBlock(tag, buf.Bytes())
+}
+
+func readGobFrame(br *blockio.Reader, want byte, v any) error {
+	tag, payload, err := br.Next()
+	if err != nil {
+		return fmt.Errorf("store: reading frame %q: %w", want, err)
+	}
+	if tag != want {
+		return fmt.Errorf("store: frame %q where %q expected", tag, want)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("store: decoding frame %q: %w", want, err)
+	}
+	return nil
+}
+
+// readGobSlice decodes a slice frame of exactly n elements, steering
+// gob's allocation into dst (length 0, capacity n): gob reuses a
+// destination slice whose capacity suffices, so a segment shard decodes
+// straight into the store's preallocated backing array with no scratch
+// copy — the "reopen is a read, not a rebuild" property, applied to
+// allocation too. If gob nevertheless reallocated (a malformed frame
+// longer than the header promised would, before failing the length
+// check), the decoded data is copied back so the contract holds.
+func readGobSlice[T any](br *blockio.Reader, tag byte, n int, dst []T) error {
+	s := dst
+	if err := readGobFrame(br, tag, &s); err != nil {
+		return err
+	}
+	if len(s) != n {
+		return fmt.Errorf("store: segment frame %q holds %d elements, header says %d", tag, len(s), n)
+	}
+	if n > 0 && &s[0] != &dst[:1][0] {
+		copy(dst[:n], s)
+	}
+	return nil
+}
+
+// WriteTo serializes the store to w in the segment format, returning the
+// byte count written. The shards' permuted arrays go out verbatim, so a
+// later ReadStore serves queries with zero rebuild work. K and V must be
+// gob-encodable; the read side recovers the same layout, shard
+// boundaries, fences, and duplicate policy. WriteTo implements
+// io.WriterTo and never mutates the store.
+func (s *Store[K, V]) WriteTo(w io.Writer) (int64, error) {
+	return writeSegStream(w, s, plainCodec[V]{})
+}
+
+// ReadStore reconstructs a Store from a stream produced by WriteTo. The
+// structural parameters (layout, shard count, B, duplicate policy) come
+// from the stream itself; of the options only WithWorkers is honored —
+// it bounds the parallelism of future Export/Rebuild calls on the
+// reopened store. The stream is checksummed frame by frame: a truncated
+// or bit-flipped segment is rejected, never served.
+func ReadStore[K cmp.Ordered, V any](r io.Reader, opts ...Option) (*Store[K, V], error) {
+	return readSegStream[K](r, plainCodec[V]{}, opts)
+}
+
+// writeRunStream serializes a DB run's Store (mval payloads) — same
+// format, run payload kind.
+func writeRunStream[K cmp.Ordered, V any](w io.Writer, st *Store[K, mval[V]]) (int64, error) {
+	return writeSegStream(w, st, runCodec[V]{})
+}
+
+// readRunStream reopens a DB run segment with the given Export
+// parallelism.
+func readRunStream[K cmp.Ordered, V any](r io.Reader, workers int) (*Store[K, mval[V]], error) {
+	return readSegStream[K](r, runCodec[V]{}, []Option{WithWorkers(workers)})
+}
+
+func writeSegStream[K cmp.Ordered, V any](w io.Writer, s *Store[K, V], codec segCodec[V]) (int64, error) {
+	n, err := io.WriteString(w, segMagic)
+	if err != nil {
+		return int64(n), err
+	}
+	bw := blockio.NewWriter(w)
+	hdr := segHeader{
+		Version:    segVersion,
+		Payload:    codec.kind(),
+		Records:    len(s.keys),
+		HasVals:    s.vals != nil,
+		Layout:     int(s.cfg.Layout),
+		B:          s.cfg.B,
+		Algorithm:  int(s.cfg.Algorithm),
+		Duplicates: int(s.cfg.Duplicates),
+		ShardLens:  make([]int, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		hdr.ShardLens[i] = sh.idx.Len()
+	}
+	if err := writeGobFrame(bw, tagSegHeader, hdr); err != nil {
+		return int64(n) + bw.Offset(), err
+	}
+	for _, sh := range s.shards {
+		lo, hi := sh.off, sh.off+sh.idx.Len()
+		if err := writeGobFrame(bw, tagSegKeys, s.keys[lo:hi]); err != nil {
+			return int64(n) + bw.Offset(), err
+		}
+		if s.vals != nil {
+			if err := codec.writeShard(bw, s.vals[lo:hi]); err != nil {
+				return int64(n) + bw.Offset(), err
+			}
+		}
+	}
+	if err := writeGobFrame(bw, tagSegTrailer, segTrailer{Records: len(s.keys)}); err != nil {
+		return int64(n) + bw.Offset(), err
+	}
+	return int64(n) + bw.Offset(), nil
+}
+
+func readSegStream[K cmp.Ordered, V any](r io.Reader, codec segCodec[V], opts []Option) (*Store[K, V], error) {
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("store: reading segment magic: %w", err)
+	}
+	if string(magic) != segMagic {
+		return nil, fmt.Errorf("store: not a segment file (magic %q)", magic)
+	}
+	br := blockio.NewReader(r)
+	var hdr segHeader
+	if err := readGobFrame(br, tagSegHeader, &hdr); err != nil {
+		return nil, err
+	}
+	if hdr.Version != segVersion {
+		return nil, fmt.Errorf("store: segment version %d, this build reads %d", hdr.Version, segVersion)
+	}
+	if hdr.Payload != codec.kind() {
+		return nil, fmt.Errorf("store: segment payload kind %d where %d expected (a DB run segment and a plain Store segment are not interchangeable)",
+			hdr.Payload, codec.kind())
+	}
+	kind := layout.Kind(hdr.Layout)
+	switch kind {
+	case layout.Sorted, layout.BST, layout.BTree, layout.VEB:
+	default:
+		return nil, fmt.Errorf("store: segment names unknown layout %d", hdr.Layout)
+	}
+	if hdr.B < 1 || hdr.Records < 1 || len(hdr.ShardLens) < 1 || len(hdr.ShardLens) > hdr.Records {
+		return nil, fmt.Errorf("store: segment header malformed (records=%d shards=%d b=%d)",
+			hdr.Records, len(hdr.ShardLens), hdr.B)
+	}
+	total := 0
+	for _, l := range hdr.ShardLens {
+		if l < 1 || l > hdr.Records-total {
+			return nil, fmt.Errorf("store: segment shard lengths %v inconsistent with %d records",
+				hdr.ShardLens, hdr.Records)
+		}
+		total += l
+	}
+	if total != hdr.Records {
+		return nil, fmt.Errorf("store: segment shard lengths sum to %d, header says %d records",
+			total, hdr.Records)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	var optc Config
+	for _, o := range opts {
+		o(&optc)
+	}
+	if optc.Workers >= 1 {
+		workers = optc.Workers
+	}
+	s := &Store[K, V]{
+		cfg: Config{
+			Shards:     len(hdr.ShardLens),
+			Layout:     kind,
+			B:          hdr.B,
+			Workers:    workers,
+			Algorithm:  perm.Algorithm(hdr.Algorithm),
+			Duplicates: DuplicatePolicy(hdr.Duplicates),
+		},
+		keys:   make([]K, hdr.Records),
+		shards: make([]shard[K], len(hdr.ShardLens)),
+		fences: make([]K, len(hdr.ShardLens)),
+	}
+	if hdr.HasVals {
+		s.vals = make([]V, hdr.Records)
+	}
+	off := 0
+	for i, l := range hdr.ShardLens {
+		// Decode the shard's permuted arrays directly into the store's
+		// backing slices — the read path's whole job is this copy-free
+		// landing.
+		if err := readGobSlice(br, tagSegKeys, l, s.keys[off:off:off+l]); err != nil {
+			return nil, err
+		}
+		if hdr.HasVals {
+			if err := codec.readShard(br, l, s.vals[off:off:off+l]); err != nil {
+				return nil, err
+			}
+		}
+		data := s.keys[off : off+l : off+l]
+		s.shards[i] = shard[K]{off: off, idx: search.NewIndex(data, kind, hdr.B)}
+		// The fence is the shard's smallest key: in-order rank 0, located
+		// by index arithmetic in the permuted array — no sorted copy of
+		// the shard ever exists on the read path.
+		s.fences[i] = s.shards[i].idx.AtRank(0)
+		off += l
+	}
+	var tr segTrailer
+	if err := readGobFrame(br, tagSegTrailer, &tr); err != nil {
+		return nil, fmt.Errorf("store: segment trailer missing (file truncated?): %w", err)
+	}
+	if tr.Records != hdr.Records {
+		return nil, fmt.Errorf("store: segment trailer says %d records, header %d", tr.Records, hdr.Records)
+	}
+	// Fences ascend by construction (equal fences are possible under
+	// KeepAll, where an equal-key run may straddle a shard boundary).
+	for i := 1; i < len(s.fences); i++ {
+		if s.fences[i] < s.fences[i-1] {
+			return nil, fmt.Errorf("store: segment fence keys not ascending at shard %d", i)
+		}
+	}
+	return s, nil
+}

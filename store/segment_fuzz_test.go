@@ -1,0 +1,88 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"slices"
+	"testing"
+)
+
+// FuzzSegmentRoundTrip drives the segment codec with fuzzer-shaped
+// record sets and checks the three properties the durability layer
+// depends on: encode→decode is the identity on the served records, a
+// truncated stream is rejected, and a checksum-corrupted stream is
+// rejected. The record set (keys, values, shard count) is derived from
+// the fuzz input so the fuzzer explores duplicate keys, single-record
+// stores, and every shard/record ratio.
+func FuzzSegmentRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(1), uint8(7))
+	f.Add([]byte{0}, uint8(4), uint8(0))
+	f.Add(bytes.Repeat([]byte{0xFF, 0x00, 0x42}, 40), uint8(16), uint8(200))
+	f.Add([]byte("duplicate duplicate duplicate"), uint8(3), uint8(13))
+	f.Fuzz(func(t *testing.T, data []byte, shards uint8, flip uint8) {
+		if len(data) == 0 {
+			return
+		}
+		// Derive records: 2 bytes of key, 1 byte of value payload each.
+		n := max(len(data)/3, 1)
+		keys := make([]uint16, n)
+		vals := make([]string, n)
+		for i := 0; i < n; i++ {
+			var k uint16
+			if 3*i+1 < len(data) {
+				k = binary.LittleEndian.Uint16(data[3*i:])
+			} else {
+				k = uint16(data[3*i])
+			}
+			keys[i] = k
+			if 3*i+2 < len(data) {
+				vals[i] = string(data[3*i+2 : 3*i+3])
+			}
+		}
+		st, err := Build(keys, vals, WithShards(int(shards%32)+1))
+		if err != nil {
+			t.Fatalf("Build over fuzz records: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := st.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		enc := buf.Bytes()
+
+		// Round trip: the reopened store must serve the same records.
+		got, err := ReadStore[uint16, string](bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("ReadStore on clean stream: %v", err)
+		}
+		wantK, wantV := st.Export()
+		gotK, gotV := got.Export()
+		if !slices.Equal(gotK, wantK) || !slices.Equal(gotV, wantV) {
+			t.Fatalf("round trip changed the records: %d vs %d", len(gotK), len(wantK))
+		}
+		for _, k := range wantK {
+			want, _ := st.Get(k)
+			if v, ok := got.Get(k); !ok || v != want {
+				t.Fatalf("reopened Get(%d) = %q, %v; want %q", k, v, ok, want)
+			}
+		}
+
+		// Truncation at a fuzzer-chosen point must be rejected.
+		cut := int(flip) % len(enc)
+		if _, err := ReadStore[uint16, string](bytes.NewReader(enc[:cut])); err == nil {
+			t.Fatalf("segment truncated to %d/%d bytes accepted", cut, len(enc))
+		}
+
+		// A flipped byte at a fuzzer-chosen position must be rejected:
+		// every byte is covered by the magic, a frame checksum, or the
+		// structural validation.
+		pos := (int(flip)*131 + len(data)) % len(enc)
+		bad := bytes.Clone(enc)
+		bad[pos] ^= 1 | flip
+		if bad[pos] == enc[pos] {
+			return // the "corruption" was the identity; nothing to assert
+		}
+		if _, err := ReadStore[uint16, string](bytes.NewReader(bad)); err == nil {
+			t.Fatalf("segment with byte %d flipped accepted", pos)
+		}
+	})
+}

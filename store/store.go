@@ -38,6 +38,20 @@
 // maintenance outage. Duplicate handling is always KeepLast in the DB
 // (overwrite semantics); see the decision table in README.md for how
 // the Store policies interact with tombstones.
+//
+// # Durability
+//
+// Open backs a DB with a directory and makes the write path crash-safe:
+// Put and Delete are appended to a write-ahead log before they are
+// acknowledged, flushed runs are persisted as checksummed segment files
+// holding the permuted shard arrays verbatim (an implicit layout is a
+// pointer-free array, so the permuted array is the on-disk format and
+// reopening never re-sorts or re-permutes), and an atomically rewritten
+// manifest names the live segments. Reopening the directory replays any
+// logs a crash left behind and serves the whole acknowledged history.
+// The same codec is public on the static store as Store.WriteTo and
+// ReadStore. Formats and the recovery protocol are specified in
+// ARCHITECTURE.md ("On-disk layout and crash recovery").
 package store
 
 import (

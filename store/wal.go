@@ -1,0 +1,285 @@
+package store
+
+import (
+	"bytes"
+	"cmp"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"implicitlayout/internal/blockio"
+)
+
+// The write-ahead log makes Put and Delete crash-safe: every write is
+// appended to the active memtable's log file before it is applied (and
+// before the call returns), so a process that dies with records still in
+// memory replays them from the log at the next Open. One WAL file
+// corresponds to one memtable lifetime: freezing the memtable rotates
+// the log, and once the frozen table has been flushed into a segment and
+// the manifest committed, its log is deleted — the segment now owns
+// those records.
+//
+// A log is the magic "ILWAL\x01" followed by one blockio frame per
+// record:
+//
+//	frame 'P': klen(4, LE) | gob(key) | gob(val)    a Put
+//	frame 'D': klen(4, LE) | gob(key)               a Delete (tombstone)
+//
+// Each frame carries its own CRC-32C, so replay walks records until the
+// stream ends, classifying how it ended: cleanly (walClean), at a frame
+// cut short by a crashed append (walTorn — the expected shape of an
+// interruption, costing at most the single write that was in flight),
+// or at a checksum or decode failure (walCorrupt — real damage). Open
+// deletes replayed logs that ended clean or torn, but preserves a
+// corrupt log under a ".corrupt" suffix: the intact prefix is recovered
+// and served, and the damaged file is kept for inspection instead of
+// being silently destroyed.
+
+const walMagic = "ILWAL\x01"
+
+const (
+	walTagPut    = 'P'
+	walTagDelete = 'D'
+)
+
+// walEnd classifies how a log replay ended.
+type walEnd int
+
+const (
+	walClean   walEnd = iota // the stream ended exactly at a frame boundary
+	walTorn                  // final frame cut short: a crash-interrupted append
+	walCorrupt               // checksum or decode failure: real damage
+)
+
+// walWriter appends records to one log file. Appends are not internally
+// locked: the DB serializes them under the same mutex that orders
+// memtable writes, which is what makes log order equal apply order.
+// syncAck and seal have their own lock because the SyncWrites fsync
+// deliberately happens after the DB mutex is released (see DB.write).
+type walWriter struct {
+	f    *os.File
+	bw   *blockio.Writer
+	path string
+
+	mu       sync.Mutex // guards fsync vs seal/close, never held during appends
+	sealed   bool       // seal ran: the file is closed
+	fsyncErr error      // first fsync failure on this log, latched forever:
+	// post-4.13 Linux reports a writeback error on only ONE fsync call
+	// per fd, so a later caller's fsync can return nil after an earlier
+	// one failed — every durability decision must consult the latch,
+	// never a fresh Sync alone.
+}
+
+// walPath names the log file for the given sequence number.
+func walPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", seq))
+}
+
+// parseWALSeq extracts the sequence number from a log file name. The
+// match is exact, so derived names ("wal-….log.corrupt") and temp files
+// never count as replayable logs.
+func parseWALSeq(name string) (seq uint64, ok bool) {
+	if _, err := fmt.Sscanf(name, "wal-%016x.log", &seq); err != nil {
+		return 0, false
+	}
+	return seq, name == fmt.Sprintf("wal-%016x.log", seq)
+}
+
+// createWAL creates a fresh log file for a new memtable lifetime and
+// fsyncs the directory, so the file's existence survives a power
+// failure — without that, a crash could drop the directory entry and
+// with it every record the log had durably absorbed.
+func createWAL(dir string, seq uint64) (*walWriter, error) {
+	path := walPath(dir, seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating WAL: %w", err)
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("store: initializing WAL: %w", err)
+	}
+	if err := blockio.SyncDir(dir); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("store: syncing db directory after WAL create: %w", err)
+	}
+	return &walWriter{f: f, bw: blockio.NewWriter(f), path: path}, nil
+}
+
+// append logs one record. The frame reaches the OS (one unbuffered
+// write) before append returns; making it reach the disk is syncAck's
+// job. Caller holds the DB mutex.
+func (w *walWriter) append(tag byte, payload []byte) error {
+	if err := w.bw.WriteBlock(tag, payload); err != nil {
+		return fmt.Errorf("store: appending to WAL: %w", err)
+	}
+	return nil
+}
+
+// syncAck fsyncs the log before a SyncWrites Put/Delete is
+// acknowledged. It runs after the DB mutex is released, so concurrent
+// readers never stall behind a disk sync; because fsync persists the
+// whole file, one writer's sync also covers every append that beat it —
+// a natural group commit. If the log was sealed in the window between
+// the append and this call (a concurrent freeze), the seal's fsync
+// already covered the record and there is nothing to do.
+func (w *walWriter) syncAck() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fsyncErr != nil {
+		return w.fsyncErr // an earlier fsync failed; never ack over it
+	}
+	if w.sealed {
+		return nil // covered by the seal's (successful) fsync
+	}
+	if err := w.f.Sync(); err != nil {
+		w.fsyncErr = fmt.Errorf("store: syncing WAL: %w", err)
+		return w.fsyncErr
+	}
+	return nil
+}
+
+// seal fsyncs and closes the log at memtable freeze: the frozen table's
+// records are now durable regardless of the sync policy, and the file
+// waits for its flush-then-delete.
+func (w *walWriter) seal() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sealed = true
+	if w.fsyncErr != nil {
+		// A prior fsync already failed; this fd's Sync may now lie (the
+		// kernel reports a writeback error once), so the log cannot be
+		// trusted regardless of what a fresh call returns.
+		w.f.Close()
+		return w.fsyncErr
+	}
+	if err := w.f.Sync(); err != nil {
+		// Latch the failure before anything else: a SyncWrites writer
+		// racing this seal must see it from syncAck, not a false ack.
+		w.fsyncErr = fmt.Errorf("store: syncing WAL at freeze: %w", err)
+		w.f.Close()
+		return w.fsyncErr
+	}
+	// The data is durable from here; a close failure loses nothing.
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: closing WAL: %w", err)
+	}
+	return nil
+}
+
+// discard closes the handle and deletes the file — used for the empty
+// log of an active memtable at a clean Close. Only ever called on a log
+// with no records (no syncAck can be in flight: there is nothing to
+// ack).
+func (w *walWriter) discard() error {
+	w.mu.Lock()
+	w.sealed = true
+	w.f.Close()
+	w.mu.Unlock()
+	return os.Remove(w.path)
+}
+
+// encodeWALRecord builds the frame for one write. Key and value travel
+// as independent gob streams so replay can decode them without a shared
+// type dictionary; the key's byte length is prefixed to split the two.
+func encodeWALRecord[K cmp.Ordered, V any](key K, mv mval[V]) (tag byte, payload []byte, err error) {
+	var kbuf bytes.Buffer
+	if err := gob.NewEncoder(&kbuf).Encode(key); err != nil {
+		return 0, nil, fmt.Errorf("store: encoding WAL key: %w", err)
+	}
+	if mv.dead {
+		payload = make([]byte, 4+kbuf.Len())
+		binary.LittleEndian.PutUint32(payload, uint32(kbuf.Len()))
+		copy(payload[4:], kbuf.Bytes())
+		return walTagDelete, payload, nil
+	}
+	var vbuf bytes.Buffer
+	if err := gob.NewEncoder(&vbuf).Encode(mv.val); err != nil {
+		return 0, nil, fmt.Errorf("store: encoding WAL value: %w", err)
+	}
+	payload = make([]byte, 4+kbuf.Len()+vbuf.Len())
+	binary.LittleEndian.PutUint32(payload, uint32(kbuf.Len()))
+	copy(payload[4:], kbuf.Bytes())
+	copy(payload[4+kbuf.Len():], vbuf.Bytes())
+	return walTagPut, payload, nil
+}
+
+// decodeWALRecord inverts encodeWALRecord.
+func decodeWALRecord[K cmp.Ordered, V any](tag byte, payload []byte) (key K, mv mval[V], err error) {
+	if len(payload) < 4 {
+		return key, mv, errors.New("store: WAL record shorter than its key-length prefix")
+	}
+	klen := int(binary.LittleEndian.Uint32(payload))
+	if klen < 0 || 4+klen > len(payload) {
+		return key, mv, fmt.Errorf("store: WAL record key length %d exceeds payload", klen)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload[4 : 4+klen])).Decode(&key); err != nil {
+		return key, mv, fmt.Errorf("store: decoding WAL key: %w", err)
+	}
+	switch tag {
+	case walTagDelete:
+		mv.dead = true
+	case walTagPut:
+		if err := gob.NewDecoder(bytes.NewReader(payload[4+klen:])).Decode(&mv.val); err != nil {
+			return key, mv, fmt.Errorf("store: decoding WAL value: %w", err)
+		}
+	default:
+		return key, mv, fmt.Errorf("store: unknown WAL record tag %q", tag)
+	}
+	return key, mv, nil
+}
+
+// replayWAL applies every intact record of one log file in append order,
+// returning the applied count and how the stream ended (see walEnd).
+// Replay never errors on damage — the intact prefix is exactly the
+// history worth recovering either way — but the caller uses the
+// classification to decide the file's fate: delete a clean or torn log,
+// preserve a corrupt one. Only a log the filesystem refuses to read is
+// an error.
+func replayWAL[K cmp.Ordered, V any](path string, apply func(key K, mv mval[V])) (n int, end walEnd, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, walCorrupt, fmt.Errorf("store: opening WAL: %w", err)
+	}
+	defer f.Close()
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, walTorn, nil // torn before the magic finished: an empty log
+		}
+		return 0, walCorrupt, fmt.Errorf("store: reading WAL magic: %w", err)
+	}
+	if string(magic) != walMagic {
+		// The name matched the WAL pattern but the content does not:
+		// bit rot in the first bytes. Same policy as damage anywhere
+		// else — recover what can be recovered (nothing), preserve the
+		// file, keep the store openable — rather than wedging every
+		// future Open on a hard error.
+		return 0, walCorrupt, nil
+	}
+	br := blockio.NewReader(f)
+	for {
+		tag, payload, err := br.Next()
+		switch {
+		case err == io.EOF:
+			return n, walClean, nil
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return n, walTorn, nil // a crash-interrupted append: expected
+		case err != nil:
+			return n, walCorrupt, nil // checksum/length damage: preserve the file
+		}
+		key, mv, err := decodeWALRecord[K, V](tag, payload)
+		if err != nil {
+			return n, walCorrupt, nil // frame intact but content unparseable
+		}
+		apply(key, mv)
+		n++
+	}
+}
