@@ -19,6 +19,12 @@
 // reads, no re-sort or re-permute) is measured and reported in the
 // reopen_ms column. -syncwrites additionally fsyncs the log per write.
 //
+// Adding -mmap turns the reopen into a cold-serve comparison: the
+// directory is reopened once with every segment decoded onto the heap
+// and once with every segment mapped zero-copy (DBConfig.Mmap), and the
+// table reports both as decode_ms and mmap_ms — the cold-start gap the
+// raw segment codec buys.
+//
 // In all modes -json writes the table as machine-readable JSON
 // (BENCH_store.json-style) so CI can archive and trend the perf
 // trajectory.
@@ -29,6 +35,7 @@
 //	storebench -logn 20 -trials 1 -json BENCH_store.json
 //	storebench -writes 0.2 -logn 20 -ops 1000000 -workers 1,4,8 -json BENCH_db.json
 //	storebench -writes 0.2 -logn 16 -ops 200000 -dir /tmp/sb -json BENCH_durable.json
+//	storebench -writes 0.2 -logn 22 -ops 200000 -dir /tmp/sb -mmap -json BENCH_mmap.json
 package main
 
 import (
@@ -64,6 +71,10 @@ func main() {
 		"durable mode: back the DB with this directory (WAL + segment files), "+
 			"then close, reopen, and verify it, reporting recovery time (requires -writes)")
 	syncWrites := flag.Bool("syncwrites", false, "durable mode: fsync the WAL on every write")
+	mmap := flag.Bool("mmap", false,
+		"durable mode: after the workload, reopen the directory both ways — "+
+			"full heap decode vs cold-serve mmap — and report decode_ms vs mmap_ms "+
+			"(requires -dir)")
 	flag.Parse()
 
 	if *writes < 0 || *writes > 1 {
@@ -72,12 +83,15 @@ func main() {
 	if *dir != "" && *writes == 0 {
 		fatalf("-dir requires the mixed-workload mode (-writes > 0): the durable DB is the write path")
 	}
+	if *mmap && *dir == "" {
+		fatalf("-mmap requires -dir: cold-serve mode maps segment files")
+	}
 	var t *bench.Table
 	if *writes > 0 {
 		t = bench.DBThroughput(bench.DBConfig{
 			LogN: *logN, Ops: *ops, WriteFrac: *writes,
 			MemLimit: *memLimit, Fanout: *fanout, B: *b,
-			Dir: *dir, SyncWrites: *syncWrites,
+			Dir: *dir, SyncWrites: *syncWrites, Mmap: *mmap,
 			Layouts: parseLayouts(*layouts),
 			Workers: parseInts(*workers),
 			Trials:  *trials, Seed: *seed,

@@ -1,76 +1,140 @@
-// Lowmem demonstrates the property the paper is named for: the
-// permutation is genuinely in place, so a search-tree layout can be built
-// even when the data occupies essentially all available memory. The
-// program allocates one large array, measures the heap before and after
-// permuting into each layout, and verifies that the transformation
-// allocated no second copy (an out-of-place rebuild would need another
-// 8·N bytes).
+// Lowmem demonstrates serving a dataset whose working set does not fit
+// the Go heap: the "beyond RAM" property the zero-copy segment codec
+// buys. The paper's permutation is in place, so building a search-tree
+// layout never needs a second copy of the data — and because an implicit
+// layout is a pointer-free array, the permuted array can be written to
+// disk once and then served forever from the OS page cache through a
+// read-only mapping, with the Go heap holding only the store's O(shards)
+// skeleton.
+//
+// The program runs the lifecycle in one process:
+//
+//  1. build a Store of 2^logn key–value records (16 bytes per record)
+//     and persist it as a codec-v2 segment file;
+//  2. drop the build from the heap and clamp the runtime with a
+//     GOMEMLIMIT-style memory limit far below the dataset size;
+//  3. reopen the file twice — decoded onto the heap vs mapped — timing
+//     both, then serve verified point queries and a range scan from the
+//     mapped store while measuring how small the heap stays.
+//
+// Run it with the defaults (64 MiB of records, 16 MiB memory limit):
+//
+//	go run ./examples/lowmem
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/debug"
+	"time"
 
-	"implicitlayout/layout"
-	"implicitlayout/perm"
-	"implicitlayout/search"
+	"implicitlayout/store"
 )
 
 func main() {
-	logN := flag.Int("logn", 24, "array size = 2^logn 64-bit keys")
+	logN := flag.Int("logn", 22, "record count = 2^logn (16 bytes per record)")
+	limitMiB := flag.Int64("memlimit", 16, "Go soft memory limit while serving, MiB")
 	flag.Parse()
 	n := 1 << uint(*logN)
+	dataMiB := float64(n*16) / (1 << 20)
 
-	keys := make([]uint64, n)
-	fill(keys)
-	arrayMB := float64(n*8) / (1 << 20)
-	fmt.Printf("array: %d keys = %.0f MiB\n\n", n, arrayMB)
-
-	for _, k := range layout.Kinds() {
-		fill(keys)
-		heapBefore := heapMB()
-		perm.Permute(keys, k, perm.CycleLeader, perm.WithWorkers(runtime.NumCPU()))
-		heapAfter := heapMB()
-
-		// Sanity: the layout actually answers queries.
-		ix := search.NewIndex(keys, k, perm.DefaultB)
-		if ix.Find(uint64(2*n-1)) < 0 || ix.Find(2) >= 0 {
-			panic("layout broken")
-		}
-		grown := heapAfter - heapBefore
-		fmt.Printf("%-6s permuted in place: heap grew %.1f MiB (array is %.0f MiB)\n",
-			k, grown, arrayMB)
-		if grown > arrayMB/2 {
-			panic("permutation allocated a second copy — not in place!")
-		}
-	}
-
-	// Round-trip: every layout can be un-permuted in place too.
-	for _, k := range layout.Kinds() {
-		fill(keys)
-		perm.Permute(keys, k, perm.Involution)
-		if err := perm.Unpermute(keys, k); err != nil {
-			panic(err)
-		}
-		for i := 0; i < n; i++ {
-			if keys[i] != uint64(2*i+1) {
-				panic("round trip lost data")
-			}
-		}
-	}
-	fmt.Println("\nRound trips (permute + un-permute) restored sorted order exactly for all layouts.")
-}
-
-func fill(keys []uint64) {
+	// Phase 1: build and persist. The build needs the records on the
+	// heap — that is exactly the cost serving will not pay.
+	keys := make([]int64, n)
+	vals := make([]uint64, n)
 	for i := range keys {
-		keys[i] = uint64(2*i + 1)
+		keys[i] = int64(2*i + 1)
+		vals[i] = uint64(i) * 3
 	}
-}
+	st, err := store.Build(keys, vals)
+	if err != nil {
+		panic(err)
+	}
+	dir, err := os.MkdirTemp("", "lowmem")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "records.seg")
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	written, err := st.WriteTo(f)
+	if err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("dataset: %d records = %.0f MiB, segment file %.0f MiB\n\n",
+		n, dataMiB, float64(written)/(1<<20))
 
-func heapMB() float64 {
+	// Phase 2: forget the build and clamp the heap well below the data.
+	st, keys, vals = nil, nil, nil
 	runtime.GC()
+	debug.SetMemoryLimit(*limitMiB << 20)
+	fmt.Printf("serving under a %d MiB memory limit (dataset is %.0fx larger)\n\n",
+		*limitMiB, dataMiB/float64(*limitMiB))
+
+	// Phase 3: cold-open both ways, then serve from the mapping.
+	start := time.Now()
+	decoded, err := store.OpenStore[int64, uint64](path)
+	if err != nil {
+		panic(err)
+	}
+	decodeMS := float64(time.Since(start).Microseconds()) / 1e3
+	if decoded.Len() != n {
+		panic("decode reopen lost records")
+	}
+	decoded = nil
+	_ = decoded
+	runtime.GC()
+
+	start = time.Now()
+	served, err := store.OpenStore[int64, uint64](path, store.WithMmap(true))
+	if err != nil {
+		panic(err)
+	}
+	mmapMS := float64(time.Since(start).Microseconds()) / 1e3
+	fmt.Printf("cold open, heap decode: %8.2f ms (reads and decodes every record)\n", decodeMS)
+	fmt.Printf("cold open, mmap:        %8.2f ms (maps the file, decodes nothing)\n\n", mmapMS)
+	if served.Mapped() {
+		fmt.Println("store is served zero-copy from the page cache")
+	} else {
+		fmt.Println("(no mmap on this platform: served from the heap instead)")
+	}
+
+	// Point queries against the mapped store, verified.
+	rng := rand.New(rand.NewSource(1))
+	queries := make([]int64, 1<<16)
+	for i := range queries {
+		queries[i] = int64(rng.Intn(2 * n)) // ~half hit
+	}
+	res := served.GetBatch(queries, runtime.NumCPU())
+	for i, q := range queries {
+		if res.Found[i] && res.Vals[i] != uint64(q/2)*3 {
+			panic("wrong value served")
+		}
+	}
+	// An ordered range through the middle of the key space.
+	lo, hi := int64(n), int64(n+64)
+	count := 0
+	served.Range(lo, hi, func(k int64, v uint64) bool { count++; return true })
+
 	var ms runtime.MemStats
+	runtime.GC()
 	runtime.ReadMemStats(&ms)
-	return float64(ms.HeapAlloc) / (1 << 20)
+	heapMiB := float64(ms.HeapAlloc) / (1 << 20)
+	fmt.Printf("\nserved %d point queries (%d hits) + a %d-record range scan\n",
+		len(queries), res.Hits, count)
+	fmt.Printf("heap while serving: %.1f MiB for a %.0f MiB dataset (%.1f%%)\n",
+		heapMiB, dataMiB, 100*heapMiB/dataMiB)
+	if served.Mapped() && heapMiB > dataMiB/4 {
+		panic("serving pulled the dataset onto the heap — not zero-copy!")
+	}
 }

@@ -36,8 +36,10 @@ import (
 // io.ErrUnexpectedEOF, which reports a frame cut short by truncation.
 var ErrCorrupt = errors.New("blockio: corrupt block")
 
-// headerSize is the fixed frame prelude: tag, payload length, checksum.
-const headerSize = 1 + 4 + 4
+// HeaderSize is the fixed frame prelude: tag, payload length, checksum.
+// It is exported so callers laying frames out at controlled offsets (the
+// segment codec's 64-byte payload alignment) can do the arithmetic.
+const HeaderSize = 1 + 4 + 4
 
 // MaxBlock caps a single frame's payload. It exists so a corrupted
 // length field cannot demand an absurd read; real payloads (a shard's
@@ -69,11 +71,11 @@ func (bw *Writer) WriteBlock(tag byte, payload []byte) error {
 	if len(payload) > MaxBlock {
 		return fmt.Errorf("blockio: payload of %d bytes exceeds MaxBlock", len(payload))
 	}
-	frame := make([]byte, headerSize+len(payload))
+	frame := make([]byte, HeaderSize+len(payload))
 	frame[0] = tag
 	binary.LittleEndian.PutUint32(frame[1:5], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[5:9], checksum(tag, payload))
-	copy(frame[headerSize:], payload)
+	copy(frame[HeaderSize:], payload)
 	n, err := bw.w.Write(frame)
 	bw.off += int64(n)
 	return err
@@ -95,7 +97,7 @@ func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 // returns io.ErrUnexpectedEOF; a checksum mismatch or impossible length
 // returns an error wrapping ErrCorrupt.
 func (br *Reader) Next() (tag byte, payload []byte, err error) {
-	var hdr [headerSize]byte
+	var hdr [HeaderSize]byte
 	if _, err := io.ReadFull(br.r, hdr[:1]); err != nil {
 		if err == io.EOF {
 			return 0, nil, io.EOF // clean boundary: no frame started
@@ -125,6 +127,50 @@ func (br *Reader) Next() (tag byte, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("%w: checksum %08x, frame says %08x", ErrCorrupt, got, want)
 	}
 	return tag, payload, nil
+}
+
+// Frame parses the frame starting at byte off of b and returns its tag,
+// its payload as a subslice of b — no copy, which is the point: b is
+// typically a mapped file, and the payload subslice IS the servable
+// data — and the offset of the frame that follows. At the exact end of
+// b it returns io.EOF; a frame cut short by the end of b returns
+// io.ErrUnexpectedEOF; an impossible length returns ErrCorrupt.
+//
+// verify selects whether the payload checksum is recomputed. Passing
+// false skips an O(len(payload)) touch of every mapped page — the
+// zero-copy open path verifies the small structural frames and leaves
+// bulk array frames to the integrity of the store's write protocol —
+// while true gives the same guarantee as Reader.Next.
+func Frame(b []byte, off int, verify bool) (tag byte, payload []byte, next int, err error) {
+	if off == len(b) {
+		return 0, nil, 0, io.EOF
+	}
+	if off < 0 || off > len(b) {
+		return 0, nil, 0, fmt.Errorf("%w: frame offset %d outside %d bytes", ErrCorrupt, off, len(b))
+	}
+	if len(b)-off < HeaderSize {
+		return 0, nil, 0, io.ErrUnexpectedEOF
+	}
+	tag = b[off]
+	n := binary.LittleEndian.Uint32(b[off+1 : off+5])
+	want := binary.LittleEndian.Uint32(b[off+5 : off+9])
+	if n > MaxBlock {
+		return 0, nil, 0, fmt.Errorf("%w: frame length %d exceeds MaxBlock", ErrCorrupt, n)
+	}
+	// Compare in int, not uint32: the remaining-byte count of a mapped
+	// multi-GiB file overflows uint32, and a wrapped comparison would
+	// reject intact frames past the 4 GiB mark.
+	if len(b)-off-HeaderSize < int(n) {
+		return 0, nil, 0, io.ErrUnexpectedEOF
+	}
+	start := off + HeaderSize
+	payload = b[start : start+int(n) : start+int(n)]
+	if verify {
+		if got := checksum(tag, payload); got != want {
+			return 0, nil, 0, fmt.Errorf("%w: checksum %08x, frame says %08x", ErrCorrupt, got, want)
+		}
+	}
+	return tag, payload, start + int(n), nil
 }
 
 // WriteFileAtomic publishes a file at path by writing it to a temp file

@@ -74,7 +74,7 @@ func TestReaderDetectsTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	for cut := len(full) - 1; cut > headerSize+len("first"); cut-- {
+	for cut := len(full) - 1; cut > HeaderSize+len("first"); cut-- {
 		br := NewReader(bytes.NewReader(full[:cut]))
 		if _, _, err := br.Next(); err != nil {
 			t.Fatalf("cut %d: first frame: %v", cut, err)
@@ -118,5 +118,85 @@ func TestWriteFileAtomic(t *testing.T) {
 	}
 	if len(entries) != 1 || entries[0].Name() != "artifact" {
 		t.Fatalf("directory holds %d entries after failed write; want just the artifact", len(entries))
+	}
+}
+
+func TestFrameWalk(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	frames := []struct {
+		tag     byte
+		payload []byte
+	}{
+		{'x', []byte("zero-copy")},
+		{'y', nil},
+		{'z', bytes.Repeat([]byte{0x5A}, 1000)},
+	}
+	for _, f := range frames {
+		if err := bw.WriteBlock(f.tag, f.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := buf.Bytes()
+	off := 0
+	for i, f := range frames {
+		tag, payload, next, err := Frame(b, off, true)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if tag != f.tag || !bytes.Equal(payload, f.payload) {
+			t.Fatalf("frame %d: tag %c, %d bytes; want %c, %d bytes",
+				i, tag, len(payload), f.tag, len(f.payload))
+		}
+		// The payload must alias b, not copy it.
+		if len(payload) > 0 && &payload[0] != &b[off+HeaderSize] {
+			t.Fatalf("frame %d: payload copied", i)
+		}
+		off = next
+	}
+	if _, _, _, err := Frame(b, off, true); err != io.EOF {
+		t.Fatalf("walk past the last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameWalkErrors(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	if err := bw.WriteBlock('q', []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+
+	// Truncation anywhere inside the frame is ErrUnexpectedEOF.
+	for cut := 1; cut < len(b); cut++ {
+		if _, _, _, err := Frame(b[:cut], 0, true); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut to %d bytes: %v, want ErrUnexpectedEOF", cut, err)
+		}
+	}
+
+	// A flipped payload byte is ErrCorrupt with verification on, and
+	// sails through with it off (the caller opted out).
+	bad := bytes.Clone(b)
+	bad[len(bad)-1] ^= 0xFF
+	if _, _, _, err := Frame(bad, 0, true); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped payload, verify on: %v, want ErrCorrupt", err)
+	}
+	if _, _, _, err := Frame(bad, 0, false); err != nil {
+		t.Fatalf("flipped payload, verify off: %v, want nil", err)
+	}
+
+	// A corrupted length field fails the bounds check or MaxBlock.
+	bad = bytes.Clone(b)
+	bad[3] = 0xFF
+	if _, _, _, err := Frame(bad, 0, true); err == nil {
+		t.Fatalf("absurd length accepted")
+	}
+
+	// Offsets outside the buffer are rejected, not sliced.
+	if _, _, _, err := Frame(b, len(b)+1, true); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("offset past the end: %v, want ErrCorrupt", err)
+	}
+	if _, _, _, err := Frame(b, -1, true); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("negative offset: %v, want ErrCorrupt", err)
 	}
 }

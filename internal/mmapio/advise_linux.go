@@ -1,0 +1,26 @@
+//go:build linux
+
+package mmapio
+
+import "syscall"
+
+// Advise passes an access-pattern hint for the whole region to the OS.
+// Purely advisory: serving is correct without it, and an error (or an
+// already-closed region) only means the hint was dropped.
+func (r *Region) Advise(a Advice) error {
+	if len(r.data) == 0 {
+		return nil
+	}
+	var flag int
+	switch a {
+	case Random:
+		flag = syscall.MADV_RANDOM
+	case Sequential:
+		flag = syscall.MADV_SEQUENTIAL
+	case WillNeed:
+		flag = syscall.MADV_WILLNEED
+	default:
+		flag = syscall.MADV_NORMAL
+	}
+	return syscall.Madvise(r.data, flag)
+}

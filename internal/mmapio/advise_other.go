@@ -1,0 +1,8 @@
+//go:build !linux
+
+package mmapio
+
+// Advise without a portable madvise (the syscall package exports it on
+// linux only): accept and drop the hint — it is purely advisory, so
+// serving is identical, just without the read-ahead tuning.
+func (r *Region) Advise(a Advice) error { return nil }

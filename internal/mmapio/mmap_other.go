@@ -1,0 +1,17 @@
+//go:build !unix
+
+package mmapio
+
+import "fmt"
+
+// Supported reports whether this platform can map files. When false, Map
+// always fails and callers fall back to heap decoding.
+const Supported = false
+
+// Map on platforms without mmap: always fails; callers heap-decode
+// instead.
+func Map(path string) (*Region, error) {
+	return nil, fmt.Errorf("mmapio: file mapping is not supported on this platform")
+}
+
+func (r *Region) unmap() error { return nil }

@@ -1,0 +1,52 @@
+//go:build unix
+
+package mmapio
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// Supported reports whether this platform can map files. When false, Map
+// always fails and callers fall back to heap decoding.
+const Supported = true
+
+// Map opens the file at path read-only and maps it whole. The file
+// descriptor is closed before Map returns — the mapping keeps the file's
+// pages alive on its own, including across a later unlink, which is what
+// lets the store delete an obsolete segment while old readers still
+// serve from its mapping.
+func Map(path string) (*Region, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("mmapio: %s is empty, nothing to map", path)
+	}
+	if size > math.MaxInt {
+		return nil, fmt.Errorf("mmapio: %s is %d bytes, beyond this platform's address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: mapping %s: %w", path, err)
+	}
+	return &Region{data: data}, nil
+}
+
+func (r *Region) unmap() error {
+	if r.data == nil {
+		return nil
+	}
+	data := r.data
+	r.data = nil
+	return syscall.Munmap(data)
+}

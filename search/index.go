@@ -34,6 +34,12 @@ func NewIndex[T cmp.Ordered](data []T, k layout.Kind, b int) *Index[T] {
 // Len returns the number of keys.
 func (ix *Index[T]) Len() int { return len(ix.data) }
 
+// Data returns the laid-out array itself — not a copy. Callers must
+// treat it as read-only: it is shared with every other user of the
+// index, and for a store serving a mapped segment it is a read-only
+// file mapping, where a write does not corrupt data but faults.
+func (ix *Index[T]) Data() []T { return ix.data }
+
 // Kind returns the layout the index queries.
 func (ix *Index[T]) Kind() layout.Kind { return ix.kind }
 

@@ -185,6 +185,13 @@ func (db *DB[K, V]) mergeOne() bool {
 	db.mu.Unlock()
 
 	// The manifest no longer names the victims; their files are garbage.
+	// Deleting a victim that is still mapped is safe — the mapping keeps
+	// its pages alive past the unlink — and the mapping itself is NOT
+	// released here: a reader holding the pre-swap snapshot may still be
+	// mid-Range over a victim run. The merge retains nothing of the
+	// victims (Export copied every record out before the merge), so each
+	// victim's mapping dies with its last reader's epoch, via the GC
+	// cleanup its open registered.
 	for _, victim := range st.runs[lo:hi] {
 		if victim.file != "" {
 			os.Remove(filepath.Join(db.dir, victim.file))
@@ -258,14 +265,11 @@ func (db *DB[K, V]) writeSegment(st *Store[K, mval[V]]) (string, error) {
 	return filepath.Base(path), nil
 }
 
-// readSegmentFile reopens one segment as a servable run Store.
+// readSegmentFile reopens one segment as a servable run Store: mapped
+// zero-copy in cold-serve mode (DBConfig.Mmap), heap-decoded otherwise.
 func (db *DB[K, V]) readSegmentFile(name string) (*Store[K, mval[V]], error) {
-	f, err := os.Open(filepath.Join(db.dir, name))
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return readRunStream[K, V](f, db.workers)
+	return openSegFile[K, mval[V]](filepath.Join(db.dir, name), runCodec[V]{},
+		[]Option{WithWorkers(db.workers), WithMmap(db.cfg.Mmap)})
 }
 
 // commitManifest atomically rewrites the manifest to name exactly the

@@ -46,6 +46,20 @@ type DBConfig struct {
 	// returns, and the log is always fsynced when a memtable freezes.
 	// Ignored in memory-only mode.
 	SyncWrites bool
+	// Mmap selects cold-serve mode for durable DBs: Open serves every
+	// codec-v2 segment from a read-only memory mapping instead of
+	// decoding it onto the heap, so reopening a directory is O(#segments)
+	// metadata work — the shard arrays are never read, only mapped — and
+	// the OS page cache, not the Go heap, holds the working set, letting
+	// a DB serve datasets well beyond RAM (and beyond GOMEMLIMIT).
+	// Segments written by flushes and compactions while the DB is open
+	// are heap-born and stay on the heap; the next reopen maps them.
+	// v1 (gob) segments and platforms without mmap fall back to heap
+	// decoding per segment. A mapped segment's pages are released when
+	// the last snapshot epoch holding its run is garbage-collected —
+	// reads that started before a compaction or Close stay safe.
+	// Ignored in memory-only mode (there are no segments to map).
+	Mmap bool
 	// Store holds the build options every run is built with — layout,
 	// shard count, B, workers, permutation algorithm. WithDuplicates is
 	// ignored: the write path has overwrite semantics, so runs are always
@@ -242,6 +256,15 @@ func (db *DB[K, V]) openDir(dir string) error {
 			}
 			maxSeq = max(maxSeq, seq)
 			if !live[name] {
+				// A stray segment is normally a crashed flush's orphan —
+				// garbage by protocol. But a stray whose codec version
+				// this build does not know was written by a NEWER build,
+				// and guessing that a newer build's file is garbage risks
+				// destroying data whose role we cannot judge: refuse the
+				// directory instead of GC'ing it.
+				if v, err := probeSegmentVersion(filepath.Join(dir, name)); err == nil && v != segV1 && v != segV2 {
+					return fail(fmt.Errorf("store: stray segment %s has codec version %d, which this build does not know (written by a newer build?); refusing to garbage-collect it", name, v))
+				}
 				os.Remove(filepath.Join(dir, name)) // stray: GC, best-effort
 			}
 		} else if seq, ok := parseWALSeq(name); ok {
@@ -611,6 +634,11 @@ type DBStats struct {
 	// DiskRuns is the number of runs backed by a segment file on disk
 	// (0 in memory-only mode).
 	DiskRuns int
+	// MappedRuns is the number of runs served zero-copy from a mapped
+	// segment (cold-serve mode; always ≤ DiskRuns). Runs flushed or
+	// merged since Open are heap-born, so this count decays toward 0 as
+	// compaction rewrites the mapped history.
+	MappedRuns int
 	// RunRecords and RunLevels describe the run stack newest-first:
 	// run i holds RunRecords[i] records (tombstones included) at level
 	// RunLevels[i].
@@ -641,6 +669,9 @@ func (db *DB[K, V]) Stats() DBStats {
 		stats.RunLevels[i] = r.level
 		if r.file != "" {
 			stats.DiskRuns++
+		}
+		if r.st.Mapped() {
+			stats.MappedRuns++
 		}
 	}
 	return stats

@@ -11,24 +11,31 @@ import (
 // order is already globally sorted because the build partitioned by key
 // range. The servable shards are never disturbed — a Store stays a
 // consistent snapshot for its readers while (and after) it is exported.
+//
+// The returned slices are always freshly allocated heap memory, never
+// aliases of the store's shard arrays. For a mapped store this is a hard
+// requirement, not a courtesy: the copy happens before the in-place
+// unpermute (a read-only mapping cannot be permuted), and it is what
+// lets a compaction consume a mapped run and outlive the moment its
+// mapping is released — the exported records own their bytes.
 func (s *Store[K, V]) Export() (keys []K, vals []V) {
-	keys = make([]K, len(s.keys))
-	if s.vals != nil {
-		vals = make([]V, len(s.vals))
+	keys = make([]K, s.n)
+	if s.hasVals {
+		vals = make([]V, s.n)
 	}
 	r := par.New(s.cfg.Workers)
 	r.Tasks(len(s.shards), func(i int, sub par.Runner) {
 		sh := s.shards[i]
 		lo, hi := sh.off, sh.off+sh.idx.Len()
 		dstK := keys[lo:hi]
-		copy(dstK, s.keys[lo:hi])
+		copy(dstK, sh.idx.Data())
 		var err error
 		if vals == nil {
 			err = perm.Unpermute(dstK, s.cfg.Layout,
 				perm.WithWorkers(sub.P()), perm.WithB(s.cfg.B))
 		} else {
 			dstV := vals[lo:hi]
-			copy(dstV, s.vals[lo:hi])
+			copy(dstV, s.svals[i])
 			err = perm.UnpermuteWith(dstK, dstV, s.cfg.Layout,
 				perm.WithWorkers(sub.P()), perm.WithB(s.cfg.B))
 		}

@@ -1,0 +1,225 @@
+package store
+
+import (
+	"cmp"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+
+	"bytes"
+
+	"implicitlayout/internal/blockio"
+	"implicitlayout/internal/mmapio"
+	"implicitlayout/search"
+)
+
+// This file is the zero-copy half of the segment codec: opening a
+// codec-v2 segment file by mapping it read-only and serving the shard
+// arrays in place from the page cache. The search kernels are untouched
+// by any of it — a mapped shard is still just a []K — which is the
+// paper's implicit-layout property doing external-memory work: a query
+// touches O(log_B n) cache lines of a flat array, and it makes no
+// difference whether those lines are heap or page cache.
+
+// backing records who owns a store's shard arrays. A nil *backing means
+// the Go heap owns them (Build, ReadStore) and the garbage collector is
+// the whole lifecycle. A non-nil backing means the arrays view a mapped
+// segment file, and release unmaps it.
+type backing struct {
+	release func() error
+}
+
+// Mapped reports whether the store serves its shard arrays from a
+// mapped segment file rather than the heap.
+func (s *Store[K, V]) Mapped() bool { return s.back != nil }
+
+// Release unmaps a mapped store's backing region. It is idempotent and
+// a no-op for heap-backed stores.
+//
+// After Release every query on the store faults: the caller owns the
+// proof that no reader still holds it. Callers that cannot prove that —
+// the DB's snapshot epochs, where a superseded run may still be serving
+// an old reader's Range — must NOT call Release and instead let the
+// mapping die with the store: every mapped open registers a GC cleanup,
+// so an unreferenced mapped store unmaps itself exactly when the last
+// epoch holding it is collected, the same reclamation rule as heap runs.
+func (s *Store[K, V]) Release() error {
+	if s.back == nil {
+		return nil
+	}
+	return s.back.release()
+}
+
+// OpenStore opens a segment file written by Store.WriteTo. With
+// WithMmap(true) and a codec-v2 segment (fixed-width K and V) on a
+// platform with mmap, the file is mapped read-only and served zero-copy:
+// the open costs O(shards) page touches instead of an O(data) decode,
+// the shard arrays stay in the OS page cache rather than the Go heap,
+// and datasets larger than RAM are served at page granularity. In every
+// other case — v1 gob segments, platforms without mmap, or no WithMmap —
+// the file is decoded onto the heap exactly like ReadStore.
+//
+// The zero-copy trade, stated plainly: a mapped open verifies the magic,
+// header, padding, and trailer checksums and every structural invariant,
+// but does NOT checksum the bulk shard arrays it never reads — that
+// would page in the whole file and forfeit the O(shards) open. Integrity
+// of the arrays rests on the segment write protocol (written once,
+// fsynced, atomically renamed, never modified). A heap decode of the
+// same file (ReadStore, or OpenStore without mmap) verifies every frame.
+//
+// A mapped store serves any number of concurrent readers. Its mapping is
+// released when the store is garbage-collected, or eagerly by Release if
+// the caller can prove no reader remains.
+func OpenStore[K cmp.Ordered, V any](path string, opts ...Option) (*Store[K, V], error) {
+	return openSegFile[K, V](path, plainCodec[V]{}, opts)
+}
+
+// openSegFile opens one segment file with the configured backing:
+// mapped when requested and possible, heap-decoded otherwise. It is the
+// single entry point shared by OpenStore and the DB's segment reopen.
+func openSegFile[K cmp.Ordered, V any](path string, codec segCodec[V], opts []Option) (*Store[K, V], error) {
+	var optc Config
+	for _, o := range opts {
+		o(&optc)
+	}
+	if optc.Mmap && mmapio.Supported {
+		if st, err := openSegMapped[K, V](path, codec, opts); !errors.Is(err, errSegNotMappable) {
+			return st, err
+		}
+		// A v1 segment under a mmap request: decode it onto the heap —
+		// the pre-v2 files stay servable forever, just not zero-copy.
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readSegStream[K](f, codec, opts)
+}
+
+// openSegMapped maps the file and builds a Store over the mapping. On
+// any error the mapping is released before returning; errSegNotMappable
+// (a v1 segment) tells the caller to fall back to heap decoding.
+func openSegMapped[K cmp.Ordered, V any](path string, codec segCodec[V], opts []Option) (*Store[K, V], error) {
+	region, err := mmapio.Map(path)
+	if err != nil {
+		// No mapping to be had (platform quirk, exotic filesystem):
+		// degrade to the decode path rather than failing the open.
+		return nil, errSegNotMappable
+	}
+	st, err := readSegMapped[K, V](region.Bytes(), codec, opts)
+	if err != nil {
+		region.Close()
+		return nil, err
+	}
+	st.back = &backing{release: region.Close}
+	// The safety net that makes "snapshot epochs end at garbage
+	// collection" hold for mapped runs too: when the last reference to
+	// the store dies, the mapping goes with it. Release (or a second
+	// cleanup) is harmless — Region.Close is idempotent.
+	runtime.AddCleanup(st, func(r *mmapio.Region) { r.Close() }, region)
+	// Point queries dominate serving; tell the OS not to read ahead.
+	region.Advise(mmapio.Random)
+	return st, nil
+}
+
+// readSegMapped builds a Store whose shard arrays are views into b, the
+// mapped bytes of a codec-v2 segment file. Structural frames (header,
+// pads, trailer) are checksum-verified; the raw array frames are bounds-
+// and length-checked but not checksummed — see the OpenStore contract.
+func readSegMapped[K cmp.Ordered, V any](b []byte, codec segCodec[V], opts []Option) (*Store[K, V], error) {
+	if len(b) < len(segMagic) || string(b[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("store: not a segment file (magic %q)", b[:min(len(b), len(segMagic))])
+	}
+	off := len(segMagic)
+	tag, payload, off, err := blockio.Frame(b, off, true)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading segment header: %w", err)
+	}
+	if tag != tagSegHeader {
+		return nil, fmt.Errorf("store: frame %q where %q expected", tag, tagSegHeader)
+	}
+	var hdr segHeader
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("store: decoding segment header: %w", err)
+	}
+	if err := validateSegHeader[K](&hdr, codec); err != nil {
+		return nil, err
+	}
+	if hdr.Version != segV2 {
+		return nil, fmt.Errorf("%w: v%d segments hold gob frames, which map to nothing", errSegNotMappable, hdr.Version)
+	}
+	s := newSegStore[K, V](&hdr, opts)
+	recOff := 0
+	for i, l := range hdr.ShardLens {
+		var raw []byte
+		raw, off, err = mappedRawFrame(b, off, tagSegKeys, l, hdr.KeyWidth)
+		if err != nil {
+			return nil, err
+		}
+		keys, err := mmapio.View[K](raw)
+		if err != nil {
+			return nil, fmt.Errorf("store: segment shard %d keys: %w", i, err)
+		}
+		s.shards[i] = shard[K]{off: recOff, idx: search.NewIndex(keys, s.cfg.Layout, hdr.B)}
+		recOff += l
+		if hdr.HasVals {
+			raw, off, err = mappedRawFrame(b, off, codec.rawTag(), l, hdr.ValWidth)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := mmapio.View[V](raw)
+			if err != nil {
+				return nil, fmt.Errorf("store: segment shard %d values: %w", i, err)
+			}
+			s.svals[i] = vals
+		}
+		s.fences[i] = s.shards[i].idx.AtRank(0)
+	}
+	tag, payload, off, err = blockio.Frame(b, off, true)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment trailer missing (file truncated?): %w", err)
+	}
+	var tr segTrailer
+	if tag != tagSegTrailer {
+		return nil, fmt.Errorf("store: frame %q where trailer expected", tag)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("store: decoding segment trailer: %w", err)
+	}
+	if tr.Records != hdr.Records {
+		return nil, fmt.Errorf("store: segment trailer says %d records, header %d", tr.Records, hdr.Records)
+	}
+	if off != len(b) {
+		return nil, fmt.Errorf("store: %d bytes of trailing junk after the segment trailer", len(b)-off)
+	}
+	return s, checkFences(s)
+}
+
+// mappedRawFrame consumes a pad frame (verified — it is tiny) and the
+// array frame that follows (unverified — it is the bulk data), returning
+// the array payload as a view into b and the offset after it. The
+// payload must hold exactly n elements of the given width.
+func mappedRawFrame(b []byte, off int, want byte, n, width int) ([]byte, int, error) {
+	tag, _, off, err := blockio.Frame(b, off, true)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: reading pad before frame %q: %w", want, err)
+	}
+	if tag != tagSegPad {
+		return nil, 0, fmt.Errorf("store: frame %q where pad expected", tag)
+	}
+	tag, payload, off, err := blockio.Frame(b, off, false)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: reading frame %q: %w", want, err)
+	}
+	if tag != want {
+		return nil, 0, fmt.Errorf("store: frame %q where %q expected", tag, want)
+	}
+	if len(payload) != n*width {
+		return nil, 0, fmt.Errorf("store: segment frame %q holds %d bytes, want %d records × %d bytes",
+			want, len(payload), n, width)
+	}
+	return payload, off, nil
+}

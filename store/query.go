@@ -9,14 +9,16 @@ type Ref struct {
 }
 
 // valAt returns the value stored at ref (the zero V for keys-only
-// stores). Values occupy the same backing-array positions as their keys,
-// so the lookup is one offset add.
+// stores). Values occupy the same per-shard positions as their keys —
+// PermuteWith moved both arrays by one permutation, and the segment
+// codec preserves the pairing — so the lookup is one slice index,
+// whether the shard's arrays live on the heap or in a mapped segment.
 func (s *Store[K, V]) valAt(ref Ref) V {
-	if s.vals == nil {
+	if s.svals == nil {
 		var zero V
 		return zero
 	}
-	return s.vals[s.shards[ref.Shard].off+ref.Pos]
+	return s.svals[ref.Shard][ref.Pos]
 }
 
 // GetRef returns the location of key x, or ok == false when x is absent.

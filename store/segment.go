@@ -4,11 +4,16 @@ import (
 	"bytes"
 	"cmp"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"reflect"
 	"runtime"
+	"unsafe"
 
 	"implicitlayout/internal/blockio"
+	"implicitlayout/internal/mmapio"
 	"implicitlayout/layout"
 	"implicitlayout/perm"
 	"implicitlayout/search"
@@ -22,7 +27,10 @@ import (
 // on-disk format, which is the external-memory payoff of an implicit
 // (pointer-free) layout: there is nothing to deserialize.
 //
-// A segment is a magic prefix followed by blockio frames:
+// A segment is a magic prefix followed by blockio frames, in one of two
+// codec versions selected at write time:
+//
+// Version 1 (gob; any gob-encodable K and V):
 //
 //	"ILSEG\x01"
 //	frame 'h': gob(segHeader)      version, structure, shard lengths
@@ -34,34 +42,86 @@ import (
 //	  frame 't': bitmap            tombstone bit per shard position
 //	frame 'e': gob(segTrailer)     record count; doubles as an end marker
 //
+// Version 2 (raw; fixed-width keys and values, detected via reflection
+// at write time — ints, uints, floats):
+//
+//	"ILSEG\x01"
+//	frame 'h': gob(segHeader)      as v1, plus the platform contract:
+//	                               endianness tag, key/value reflect
+//	                               kinds, key/value element widths
+//	per shard, in fence order:
+//	  frame 'p': zero padding      sized so the NEXT payload starts at a
+//	                               64-byte-aligned file offset
+//	  frame 'k': raw key array     the permuted keys, native byte order
+//	  frame 'p': zero padding      (value frames only when HasVals)
+//	  frame 'v': raw value array   plain payloads — or, for DB runs,
+//	  frame 'w': raw mval array    value + tombstone flag per element
+//	frame 'e': gob(segTrailer)     record count; doubles as an end marker
+//
+// A v2 shard array on disk is bit-identical to the array in memory, and
+// every array payload starts 64-byte aligned (cache-line aligned, and —
+// since the magic sits at file offset 0 and mappings are page-aligned —
+// correctly aligned for any primitive element). That is what makes v2
+// mappable: OpenStore with WithMmap serves the arrays in place from the
+// page cache without decoding them (see mmap.go). v1 remains the
+// fallback for arbitrary gob-encodable types and stays readable forever.
+//
+// Raw frames are native-endian; the header records the byte order and
+// the element widths, and a reader on a mismatched platform refuses the
+// segment with a clear error instead of serving garbage. A segment
+// whose version this build does not know is likewise refused — never
+// guessed at, and never garbage-collected as a stray.
+//
 // Every frame carries a CRC-32C (see internal/blockio), so truncation
 // surfaces as a torn or missing trailer and bit rot as a checksum
 // mismatch. The trailer is what distinguishes "complete" from "cut
-// short": a reader that has not seen frame 'e' refuses the file.
+// short": a reader that has not seen frame 'e' refuses the file. (The
+// zero-copy mapped open is the one deliberate exception: it verifies
+// the structural frames but not the bulk arrays it never reads — see
+// the contract note on OpenStore.)
 
 const (
-	segMagic   = "ILSEG\x01"
-	segVersion = 1
+	segMagic = "ILSEG\x01"
+
+	segV1 = 1 // gob frames: any gob-encodable K and V
+	segV2 = 2 // raw fixed-width frames: mappable
 
 	tagSegHeader  = 'h'
 	tagSegKeys    = 'k'
 	tagSegVals    = 'v'
 	tagSegRawVals = 'w'
 	tagSegTombs   = 't'
+	tagSegPad     = 'p'
 	tagSegTrailer = 'e'
+
+	// segAlign is the alignment of every v2 array payload within the
+	// file: one cache line, and a multiple of every primitive's natural
+	// alignment.
+	segAlign = 64
 )
 
+// errSegVersionUnknown marks a segment written by a build newer than this
+// one. Open treats it specially: such a file is refused, never deleted as
+// a stray — it may be real data this build simply cannot read.
+var errSegVersionUnknown = errors.New("store: segment version unknown to this build")
+
+// errSegNotMappable marks a well-formed segment that cannot be served by
+// mapping (a v1 gob segment); the caller falls back to heap decoding.
+var errSegNotMappable = errors.New("store: segment is not mappable")
+
 // Payload kinds: a plain segment stores user values directly; a run
-// segment stores the DB's mval payloads as a raw value array plus a
-// tombstone bitmap, so the value type itself never needs to understand
-// deletion markers (and gob never sees the unexported mval fields).
+// segment stores the DB's mval payloads — as a raw value array plus a
+// tombstone bitmap in v1, or as the mval array verbatim in v2 — so the
+// value type itself never needs to understand deletion markers.
 const (
 	segPayloadPlain = iota
 	segPayloadRun
 )
 
 // segHeader is frame 'h': everything needed to rebuild the Store's
-// structure around the raw arrays.
+// structure around the raw arrays. The platform-contract fields are set
+// for v2 (raw) segments only; v1 readers ignore them and pre-v2 builds
+// decode them away harmlessly (gob skips unknown fields).
 type segHeader struct {
 	Version    int
 	Payload    int   // segPayloadPlain or segPayloadRun
@@ -72,6 +132,17 @@ type segHeader struct {
 	Algorithm  int   // perm.Algorithm, kept for Rebuild fidelity
 	Duplicates int   // DuplicatePolicy the store was built with
 	ShardLens  []int // per-shard record counts, in fence order
+
+	// v2 platform contract: raw arrays are memory dumps, so a reader
+	// must be byte-order- and width-compatible with the writer or
+	// refuse. KeyKind/ValKind are reflect.Kind values; ValWidth is the
+	// on-disk element width — sizeof(V) for plain segments, sizeof(mval)
+	// for run segments, whose elements carry the tombstone flag inline.
+	Endian   string
+	KeyKind  int
+	KeyWidth int
+	ValKind  int
+	ValWidth int
 }
 
 // segTrailer is frame 'e': the completeness marker.
@@ -79,21 +150,63 @@ type segTrailer struct {
 	Records int
 }
 
+// hostEndian returns this machine's byte order tag as recorded in v2
+// headers.
+func hostEndian() string {
+	var x uint16 = 1
+	if *(*byte)(unsafe.Pointer(&x)) == 1 {
+		return "little"
+	}
+	return "big"
+}
+
+// fixedKind reports whether t is a fixed-width primitive the raw codec
+// can serialize as a memory dump — the reflection-time eligibility test
+// for codec v2. Strings, structs, slices, and interfaces are not; they
+// take the gob path.
+func fixedKind(t reflect.Type) (reflect.Kind, bool) {
+	switch k := t.Kind(); k {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Uintptr, reflect.Float32, reflect.Float64:
+		return k, true
+	}
+	return 0, false
+}
+
 // segCodec abstracts how a shard's value slice crosses the codec: one
-// gob frame for plain stores, raw values + tombstone bitmap for DB runs.
+// gob frame for plain stores, raw values + tombstone bitmap for DB runs
+// (v1), or — when rawElem allows — a verbatim array dump (v2).
 // readShard fills dst (length 0, capacity n — a window into the store's
 // preallocated value array) with exactly n decoded payloads.
 type segCodec[V any] interface {
 	kind() int
 	writeShard(bw *blockio.Writer, vals []V) error
 	readShard(br *blockio.Reader, n int, dst []V) error
+	// rawElem reports v2 eligibility: the on-disk element width and the
+	// reflect kind recorded in the header (the user value's kind — for
+	// run segments the element is the mval wrapper but the kind names
+	// the wrapped primitive). ok is false when only gob can carry V.
+	rawElem() (width int, kind reflect.Kind, ok bool)
+	// rawTag is the v2 array frame tag ('v' plain, 'w' run).
+	rawTag() byte
 }
 
-// plainCodec serializes values as one gob frame per shard. V must be
-// gob-encodable (exported fields, no functions or channels).
+// plainCodec serializes values as one gob frame per shard (v1) or a raw
+// array dump (v2, fixed-width V). V must be gob-encodable for v1.
 type plainCodec[V any] struct{}
 
-func (plainCodec[V]) kind() int { return segPayloadPlain }
+func (plainCodec[V]) kind() int    { return segPayloadPlain }
+func (plainCodec[V]) rawTag() byte { return tagSegVals }
+
+func (plainCodec[V]) rawElem() (int, reflect.Kind, bool) {
+	k, ok := fixedKind(reflect.TypeFor[V]())
+	if !ok {
+		return 0, 0, false
+	}
+	var v V
+	return int(unsafe.Sizeof(v)), k, true
+}
 
 func (plainCodec[V]) writeShard(bw *blockio.Writer, vals []V) error {
 	return writeGobFrame(bw, tagSegVals, vals)
@@ -103,12 +216,27 @@ func (plainCodec[V]) readShard(br *blockio.Reader, n int, dst []V) error {
 	return readGobSlice(br, tagSegVals, n, dst)
 }
 
-// runCodec serializes the DB's mval payloads: the raw user values in one
-// frame (tombstone slots hold the zero value) and the tombstone bits in
-// a second, so the wire format needs no knowledge of mval's layout.
+// runCodec serializes the DB's mval payloads. In v1 the raw user values
+// travel in one gob frame (tombstone slots hold the zero value) and the
+// tombstone bits in a second, so the wire format needs no knowledge of
+// mval's layout. In v2 the mval array itself is the payload: for a
+// fixed-width V, mval[V] — value plus tombstone flag — is itself a
+// fixed-width struct, so the dump stays mappable and the tombstone bit
+// rides at its in-memory offset. (The recorded ValWidth pins the struct
+// size; mval's field order is part of the v2 format and must not change
+// without a version bump.)
 type runCodec[V any] struct{}
 
-func (runCodec[V]) kind() int { return segPayloadRun }
+func (runCodec[V]) kind() int    { return segPayloadRun }
+func (runCodec[V]) rawTag() byte { return tagSegRawVals }
+
+func (runCodec[V]) rawElem() (int, reflect.Kind, bool) {
+	k, ok := fixedKind(reflect.TypeFor[V]())
+	if !ok {
+		return 0, 0, false
+	}
+	return int(unsafe.Sizeof(mval[V]{})), k, true
+}
 
 func (runCodec[V]) writeShard(bw *blockio.Writer, vals []mval[V]) error {
 	raw := make([]V, len(vals))
@@ -199,12 +327,61 @@ func readGobSlice[T any](br *blockio.Reader, tag byte, n int, dst []T) error {
 	return nil
 }
 
+// segZeros backs pad-frame payloads (at most segAlign-1 bytes of them).
+var segZeros [segAlign]byte
+
+// writeRawFrame writes the v2 form of one shard array: a pad frame sized
+// so the array payload that follows starts at a segAlign-aligned stream
+// offset (base is the writer's offset within the stream — the magic
+// length), then the raw array bytes themselves.
+func writeRawFrame(bw *blockio.Writer, base int64, tag byte, payload []byte) error {
+	pad := int((segAlign - (base+bw.Offset()+2*blockio.HeaderSize)%segAlign) % segAlign)
+	if err := bw.WriteBlock(tagSegPad, segZeros[:pad]); err != nil {
+		return err
+	}
+	return bw.WriteBlock(tag, payload)
+}
+
+// readRawFrame reads the v2 form of one shard array from a frame stream:
+// the pad frame, then the array frame, whose payload must hold exactly n
+// elements of the given width — a misaligned length (truncated or padded
+// raw data that somehow kept its checksum) is refused here.
+func readRawFrame(br *blockio.Reader, want byte, n, width int) ([]byte, error) {
+	tag, _, err := br.Next()
+	if err != nil {
+		return nil, fmt.Errorf("store: reading pad before frame %q: %w", want, err)
+	}
+	if tag != tagSegPad {
+		return nil, fmt.Errorf("store: frame %q where pad expected", tag)
+	}
+	tag, payload, err := br.Next()
+	if err != nil {
+		return nil, fmt.Errorf("store: reading frame %q: %w", want, err)
+	}
+	if tag != want {
+		return nil, fmt.Errorf("store: frame %q where %q expected", tag, want)
+	}
+	if len(payload) != n*width {
+		return nil, fmt.Errorf("store: segment frame %q holds %d bytes, want %d records × %d bytes",
+			want, len(payload), n, width)
+	}
+	return payload, nil
+}
+
 // WriteTo serializes the store to w in the segment format, returning the
 // byte count written. The shards' permuted arrays go out verbatim, so a
-// later ReadStore serves queries with zero rebuild work. K and V must be
-// gob-encodable; the read side recovers the same layout, shard
-// boundaries, fences, and duplicate policy. WriteTo implements
-// io.WriterTo and never mutates the store.
+// later ReadStore serves queries with zero rebuild work. When both K and
+// V are fixed-width primitives the codec-v2 raw format is chosen — the
+// shard arrays become 64-byte-aligned memory dumps a later OpenStore
+// can map and serve zero-copy — and the gob v1 format otherwise; both
+// sides of the choice read back identically. For v1, K and V must be
+// gob-encodable. WriteTo implements io.WriterTo and never mutates the
+// store.
+//
+// The stream is laid out assuming it starts at offset 0 of its file
+// (segment files always do): writing it at a nonzero offset breaks v2's
+// alignment guarantee for a future mapped open, though heap decoding
+// still works.
 func (s *Store[K, V]) WriteTo(w io.Writer) (int64, error) {
 	return writeSegStream(w, s, plainCodec[V]{})
 }
@@ -214,7 +391,8 @@ func (s *Store[K, V]) WriteTo(w io.Writer) (int64, error) {
 // from the stream itself; of the options only WithWorkers is honored —
 // it bounds the parallelism of future Export/Rebuild calls on the
 // reopened store. The stream is checksummed frame by frame: a truncated
-// or bit-flipped segment is rejected, never served.
+// or bit-flipped segment is rejected, never served. (To serve a segment
+// file zero-copy instead of decoding it, see OpenStore.)
 func ReadStore[K cmp.Ordered, V any](r io.Reader, opts ...Option) (*Store[K, V], error) {
 	return readSegStream[K](r, plainCodec[V]{}, opts)
 }
@@ -225,23 +403,43 @@ func writeRunStream[K cmp.Ordered, V any](w io.Writer, st *Store[K, mval[V]]) (i
 	return writeSegStream(w, st, runCodec[V]{})
 }
 
-// readRunStream reopens a DB run segment with the given Export
-// parallelism.
+// readRunStream reopens a DB run segment from a stream with the given
+// Export parallelism — the heap-decode path; openSegFile adds the
+// mapped alternative for file-backed runs.
 func readRunStream[K cmp.Ordered, V any](r io.Reader, workers int) (*Store[K, mval[V]], error) {
 	return readSegStream[K](r, runCodec[V]{}, []Option{WithWorkers(workers)})
 }
 
+// segWriteVersion picks the codec version for a store: v2 when every
+// array is a fixed-width memory dump, v1 (gob) otherwise.
+func segWriteVersion[K cmp.Ordered, V any](s *Store[K, V], codec segCodec[V]) int {
+	if _, ok := fixedKind(reflect.TypeFor[K]()); !ok {
+		return segV1
+	}
+	if s.hasVals {
+		if _, _, ok := codec.rawElem(); !ok {
+			return segV1
+		}
+	}
+	return segV2
+}
+
 func writeSegStream[K cmp.Ordered, V any](w io.Writer, s *Store[K, V], codec segCodec[V]) (int64, error) {
+	return writeSegStreamVersion(w, s, codec, segWriteVersion(s, codec))
+}
+
+func writeSegStreamVersion[K cmp.Ordered, V any](w io.Writer, s *Store[K, V], codec segCodec[V], version int) (int64, error) {
 	n, err := io.WriteString(w, segMagic)
 	if err != nil {
 		return int64(n), err
 	}
+	base := int64(n)
 	bw := blockio.NewWriter(w)
 	hdr := segHeader{
-		Version:    segVersion,
+		Version:    version,
 		Payload:    codec.kind(),
-		Records:    len(s.keys),
-		HasVals:    s.vals != nil,
+		Records:    s.n,
+		HasVals:    s.hasVals,
 		Layout:     int(s.cfg.Layout),
 		B:          s.cfg.B,
 		Algorithm:  int(s.cfg.Algorithm),
@@ -251,24 +449,165 @@ func writeSegStream[K cmp.Ordered, V any](w io.Writer, s *Store[K, V], codec seg
 	for i, sh := range s.shards {
 		hdr.ShardLens[i] = sh.idx.Len()
 	}
-	if err := writeGobFrame(bw, tagSegHeader, hdr); err != nil {
-		return int64(n) + bw.Offset(), err
-	}
-	for _, sh := range s.shards {
-		lo, hi := sh.off, sh.off+sh.idx.Len()
-		if err := writeGobFrame(bw, tagSegKeys, s.keys[lo:hi]); err != nil {
-			return int64(n) + bw.Offset(), err
+	if version == segV2 {
+		kk, _ := fixedKind(reflect.TypeFor[K]())
+		var zk K
+		hdr.Endian = hostEndian()
+		hdr.KeyKind = int(kk)
+		hdr.KeyWidth = int(unsafe.Sizeof(zk))
+		if s.hasVals {
+			vw, vk, _ := codec.rawElem()
+			hdr.ValKind = int(vk)
+			hdr.ValWidth = vw
 		}
-		if s.vals != nil {
-			if err := codec.writeShard(bw, s.vals[lo:hi]); err != nil {
-				return int64(n) + bw.Offset(), err
+		// A shard's raw array is one frame, and must be: a mapped shard
+		// is served as one contiguous region, so it cannot be chunked.
+		// blockio caps a frame at MaxBlock (1 GiB) — reject here with an
+		// actionable error instead of failing mid-stream.
+		width := max(hdr.KeyWidth, hdr.ValWidth)
+		for i, l := range hdr.ShardLens {
+			if l > blockio.MaxBlock/width {
+				return int64(n), fmt.Errorf("store: shard %d holds %d records × %d bytes, over the %d-byte per-shard frame cap of the raw segment codec; build with more shards (WithShards) to persist a dataset this large",
+					i, l, width, blockio.MaxBlock)
 			}
 		}
 	}
-	if err := writeGobFrame(bw, tagSegTrailer, segTrailer{Records: len(s.keys)}); err != nil {
-		return int64(n) + bw.Offset(), err
+	if err := writeGobFrame(bw, tagSegHeader, hdr); err != nil {
+		return base + bw.Offset(), err
 	}
-	return int64(n) + bw.Offset(), nil
+	for i, sh := range s.shards {
+		if version == segV2 {
+			if err := writeRawFrame(bw, base, tagSegKeys, mmapio.Bytes(sh.idx.Data())); err != nil {
+				return base + bw.Offset(), err
+			}
+			if s.hasVals {
+				if err := writeRawFrame(bw, base, codec.rawTag(), mmapio.Bytes(s.svals[i])); err != nil {
+					return base + bw.Offset(), err
+				}
+			}
+			continue
+		}
+		if err := writeGobFrame(bw, tagSegKeys, sh.idx.Data()); err != nil {
+			return base + bw.Offset(), err
+		}
+		if s.hasVals {
+			if err := codec.writeShard(bw, s.svals[i]); err != nil {
+				return base + bw.Offset(), err
+			}
+		}
+	}
+	if err := writeGobFrame(bw, tagSegTrailer, segTrailer{Records: s.n}); err != nil {
+		return base + bw.Offset(), err
+	}
+	return base + bw.Offset(), nil
+}
+
+// validateSegHeader runs the structural checks shared by every reader:
+// known version and layout, consistent record and shard counts, and —
+// for v2 — the platform contract (byte order, key/value kinds and
+// widths must match this build on this machine, or the raw arrays would
+// be served as garbage).
+func validateSegHeader[K cmp.Ordered, V any](hdr *segHeader, codec segCodec[V]) error {
+	switch hdr.Version {
+	case segV1, segV2:
+	default:
+		return fmt.Errorf("%w: version %d, this build reads v%d (gob) and v%d (raw) — written by a newer build?",
+			errSegVersionUnknown, hdr.Version, segV1, segV2)
+	}
+	if hdr.Payload != codec.kind() {
+		return fmt.Errorf("store: segment payload kind %d where %d expected (a DB run segment and a plain Store segment are not interchangeable)",
+			hdr.Payload, codec.kind())
+	}
+	switch layout.Kind(hdr.Layout) {
+	case layout.Sorted, layout.BST, layout.BTree, layout.VEB:
+	default:
+		return fmt.Errorf("store: segment names unknown layout %d", hdr.Layout)
+	}
+	if hdr.B < 1 || hdr.Records < 1 || len(hdr.ShardLens) < 1 || len(hdr.ShardLens) > hdr.Records {
+		return fmt.Errorf("store: segment header malformed (records=%d shards=%d b=%d)",
+			hdr.Records, len(hdr.ShardLens), hdr.B)
+	}
+	total := 0
+	for _, l := range hdr.ShardLens {
+		if l < 1 || l > hdr.Records-total {
+			return fmt.Errorf("store: segment shard lengths %v inconsistent with %d records",
+				hdr.ShardLens, hdr.Records)
+		}
+		total += l
+	}
+	if total != hdr.Records {
+		return fmt.Errorf("store: segment shard lengths sum to %d, header says %d records",
+			total, hdr.Records)
+	}
+	if hdr.Version == segV2 {
+		if host := hostEndian(); hdr.Endian != host {
+			return fmt.Errorf("store: segment raw arrays are %s-endian, this host is %s-endian — refusing to serve byte-swapped data",
+				hdr.Endian, host)
+		}
+		kk, kok := fixedKind(reflect.TypeFor[K]())
+		var zk K
+		if !kok {
+			return fmt.Errorf("store: segment holds raw fixed-width keys but key type %T is not fixed-width", zk)
+		}
+		if hdr.KeyKind != int(kk) || hdr.KeyWidth != int(unsafe.Sizeof(zk)) {
+			return fmt.Errorf("store: segment keys are %v (%d bytes), this store's key type %T is %v (%d bytes)",
+				reflect.Kind(hdr.KeyKind), hdr.KeyWidth, zk, kk, unsafe.Sizeof(zk))
+		}
+		if hdr.HasVals {
+			vw, vk, ok := codec.rawElem()
+			if !ok {
+				return fmt.Errorf("store: segment holds raw fixed-width values but this store's value type is not fixed-width")
+			}
+			if hdr.ValKind != int(vk) || hdr.ValWidth != vw {
+				return fmt.Errorf("store: segment values are %v (%d bytes/element), this store expects %v (%d bytes/element)",
+					reflect.Kind(hdr.ValKind), hdr.ValWidth, vk, vw)
+			}
+		}
+	}
+	return nil
+}
+
+// newSegStore allocates the Store shell every reader fills in: config
+// recovered from the header, worker bound from the options.
+func newSegStore[K cmp.Ordered, V any](hdr *segHeader, opts []Option) *Store[K, V] {
+	workers := runtime.GOMAXPROCS(0)
+	var optc Config
+	for _, o := range opts {
+		o(&optc)
+	}
+	if optc.Workers >= 1 {
+		workers = optc.Workers
+	}
+	s := &Store[K, V]{
+		cfg: Config{
+			Shards:     len(hdr.ShardLens),
+			Layout:     layout.Kind(hdr.Layout),
+			B:          hdr.B,
+			Workers:    workers,
+			Algorithm:  perm.Algorithm(hdr.Algorithm),
+			Duplicates: DuplicatePolicy(hdr.Duplicates),
+		},
+		n:       hdr.Records,
+		hasVals: hdr.HasVals,
+		shards:  make([]shard[K], len(hdr.ShardLens)),
+		fences:  make([]K, len(hdr.ShardLens)),
+	}
+	if hdr.HasVals {
+		s.svals = make([][]V, len(hdr.ShardLens))
+	}
+	return s
+}
+
+// checkFences verifies the recovered fences ascend. (Equal fences are
+// possible under KeepAll, where an equal-key run may straddle a shard
+// boundary.)
+func checkFences[K cmp.Ordered, V any](s *Store[K, V]) error {
+	for i := 1; i < len(s.fences); i++ {
+		if s.fences[i] < s.fences[i-1] {
+			return fmt.Errorf("store: segment fence keys not ascending at shard %d", i)
+		}
+	}
+	return nil
 }
 
 func readSegStream[K cmp.Ordered, V any](r io.Reader, codec segCodec[V], opts []Option) (*Store[K, V], error) {
@@ -284,75 +623,52 @@ func readSegStream[K cmp.Ordered, V any](r io.Reader, codec segCodec[V], opts []
 	if err := readGobFrame(br, tagSegHeader, &hdr); err != nil {
 		return nil, err
 	}
-	if hdr.Version != segVersion {
-		return nil, fmt.Errorf("store: segment version %d, this build reads %d", hdr.Version, segVersion)
+	if err := validateSegHeader[K](&hdr, codec); err != nil {
+		return nil, err
 	}
-	if hdr.Payload != codec.kind() {
-		return nil, fmt.Errorf("store: segment payload kind %d where %d expected (a DB run segment and a plain Store segment are not interchangeable)",
-			hdr.Payload, codec.kind())
-	}
-	kind := layout.Kind(hdr.Layout)
-	switch kind {
-	case layout.Sorted, layout.BST, layout.BTree, layout.VEB:
-	default:
-		return nil, fmt.Errorf("store: segment names unknown layout %d", hdr.Layout)
-	}
-	if hdr.B < 1 || hdr.Records < 1 || len(hdr.ShardLens) < 1 || len(hdr.ShardLens) > hdr.Records {
-		return nil, fmt.Errorf("store: segment header malformed (records=%d shards=%d b=%d)",
-			hdr.Records, len(hdr.ShardLens), hdr.B)
-	}
-	total := 0
-	for _, l := range hdr.ShardLens {
-		if l < 1 || l > hdr.Records-total {
-			return nil, fmt.Errorf("store: segment shard lengths %v inconsistent with %d records",
-				hdr.ShardLens, hdr.Records)
-		}
-		total += l
-	}
-	if total != hdr.Records {
-		return nil, fmt.Errorf("store: segment shard lengths sum to %d, header says %d records",
-			total, hdr.Records)
-	}
+	s := newSegStore[K, V](&hdr, opts)
+	kind := s.cfg.Layout
 
-	workers := runtime.GOMAXPROCS(0)
-	var optc Config
-	for _, o := range opts {
-		o(&optc)
-	}
-	if optc.Workers >= 1 {
-		workers = optc.Workers
-	}
-	s := &Store[K, V]{
-		cfg: Config{
-			Shards:     len(hdr.ShardLens),
-			Layout:     kind,
-			B:          hdr.B,
-			Workers:    workers,
-			Algorithm:  perm.Algorithm(hdr.Algorithm),
-			Duplicates: DuplicatePolicy(hdr.Duplicates),
-		},
-		keys:   make([]K, hdr.Records),
-		shards: make([]shard[K], len(hdr.ShardLens)),
-		fences: make([]K, len(hdr.ShardLens)),
-	}
+	// The heap backing: one contiguous array per record column, shards
+	// windowed back to back, exactly as Build leaves them.
+	keys := make([]K, hdr.Records)
+	var vals []V
 	if hdr.HasVals {
-		s.vals = make([]V, hdr.Records)
+		vals = make([]V, hdr.Records)
 	}
 	off := 0
 	for i, l := range hdr.ShardLens {
 		// Decode the shard's permuted arrays directly into the store's
 		// backing slices — the read path's whole job is this copy-free
 		// landing.
-		if err := readGobSlice(br, tagSegKeys, l, s.keys[off:off:off+l]); err != nil {
-			return nil, err
-		}
-		if hdr.HasVals {
-			if err := codec.readShard(br, l, s.vals[off:off:off+l]); err != nil {
+		if hdr.Version == segV2 {
+			raw, err := readRawFrame(br, tagSegKeys, l, hdr.KeyWidth)
+			if err != nil {
 				return nil, err
 			}
+			copy(mmapio.Bytes(keys[off:off+l]), raw)
+			if hdr.HasVals {
+				raw, err := readRawFrame(br, codec.rawTag(), l, hdr.ValWidth)
+				if err != nil {
+					return nil, err
+				}
+				copy(mmapio.Bytes(vals[off:off+l]), raw)
+			}
+		} else {
+			if err := readGobSlice(br, tagSegKeys, l, keys[off:off:off+l]); err != nil {
+				return nil, err
+			}
+			if hdr.HasVals {
+				if err := codec.readShard(br, l, vals[off:off:off+l]); err != nil {
+					return nil, err
+				}
+			}
 		}
-		data := s.keys[off : off+l : off+l]
+		data := keys[off : off+l : off+l]
 		s.shards[i] = shard[K]{off: off, idx: search.NewIndex(data, kind, hdr.B)}
+		if hdr.HasVals {
+			s.svals[i] = vals[off : off+l : off+l]
+		}
 		// The fence is the shard's smallest key: in-order rank 0, located
 		// by index arithmetic in the permuted array — no sorted copy of
 		// the shard ever exists on the read path.
@@ -366,12 +682,32 @@ func readSegStream[K cmp.Ordered, V any](r io.Reader, codec segCodec[V], opts []
 	if tr.Records != hdr.Records {
 		return nil, fmt.Errorf("store: segment trailer says %d records, header %d", tr.Records, hdr.Records)
 	}
-	// Fences ascend by construction (equal fences are possible under
-	// KeepAll, where an equal-key run may straddle a shard boundary).
-	for i := 1; i < len(s.fences); i++ {
-		if s.fences[i] < s.fences[i-1] {
-			return nil, fmt.Errorf("store: segment fence keys not ascending at shard %d", i)
-		}
+	if err := checkFences(s); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// probeSegmentVersion reads just enough of a segment file to learn its
+// codec version. Open uses it before garbage-collecting a stray segment:
+// a version this build does not know marks a file written by a newer
+// build, which must be refused — surfaced, not silently deleted.
+func probeSegmentVersion(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, magic); err != nil {
+		return 0, fmt.Errorf("store: reading segment magic: %w", err)
+	}
+	if string(magic) != segMagic {
+		return 0, fmt.Errorf("store: not a segment file (magic %q)", magic)
+	}
+	var hdr segHeader
+	if err := readGobFrame(blockio.NewReader(f), tagSegHeader, &hdr); err != nil {
+		return 0, err
+	}
+	return hdr.Version, nil
 }

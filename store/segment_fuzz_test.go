@@ -7,6 +7,99 @@ import (
 	"testing"
 )
 
+// FuzzSegmentRoundTripV2 drives the raw fixed-width codec the way
+// FuzzSegmentRoundTrip drives gob: fuzzer-shaped record sets over
+// fixed-width keys AND values, so WriteTo picks codec v2 and the raw
+// frames, padding, and platform-contract header fields are all in play.
+// Properties: encode→decode identity (heap), truncation and bit-flip
+// rejection (heap — the checksum-verifying reader), and a mapped parse
+// of the same bytes that either refuses or serves the identical records,
+// and never panics — including on truncated and misaligned input.
+func FuzzSegmentRoundTripV2(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(2), uint8(7))
+	f.Add([]byte{0xFF}, uint8(1), uint8(0))
+	f.Add(bytes.Repeat([]byte{0x42, 0x00, 0x13}, 100), uint8(31), uint8(255))
+	f.Fuzz(func(t *testing.T, data []byte, shards uint8, flip uint8) {
+		if len(data) == 0 {
+			return
+		}
+		n := max(len(data)/3, 1)
+		keys := make([]uint16, n)
+		vals := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			if 3*i+1 < len(data) {
+				keys[i] = binary.LittleEndian.Uint16(data[3*i:])
+			} else {
+				keys[i] = uint16(data[3*i])
+			}
+			if 3*i+2 < len(data) {
+				vals[i] = uint32(data[3*i+2]) * 3
+			}
+		}
+		st, err := Build(keys, vals, WithShards(int(shards%32)+1))
+		if err != nil {
+			t.Fatalf("Build over fuzz records: %v", err)
+		}
+		var buf bytes.Buffer
+		if _, err := st.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		enc := buf.Bytes()
+
+		// Round trip through the checksum-verifying heap reader.
+		got, err := ReadStore[uint16, uint32](bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("ReadStore on clean v2 stream: %v", err)
+		}
+		wantK, wantV := st.Export()
+		gotK, gotV := got.Export()
+		if !slices.Equal(gotK, wantK) || !slices.Equal(gotV, wantV) {
+			t.Fatalf("v2 round trip changed the records")
+		}
+
+		// The mapped parse of the same clean bytes serves identically.
+		mst, err := readSegMapped[uint16, uint32](enc, plainCodec[uint32]{}, nil)
+		if err != nil {
+			t.Fatalf("readSegMapped on clean v2 stream: %v", err)
+		}
+		for _, k := range wantK {
+			want, _ := st.Get(k)
+			if v, ok := mst.Get(k); !ok || v != want {
+				t.Fatalf("mapped Get(%d) = %d, %v; want %d", k, v, ok, want)
+			}
+		}
+
+		// Truncation must be rejected by both readers.
+		cut := int(flip) % len(enc)
+		if _, err := ReadStore[uint16, uint32](bytes.NewReader(enc[:cut])); err == nil {
+			t.Fatalf("v2 segment truncated to %d/%d bytes accepted by heap reader", cut, len(enc))
+		}
+		if _, err := readSegMapped[uint16, uint32](enc[:cut:cut], plainCodec[uint32]{}, nil); err == nil {
+			t.Fatalf("v2 segment truncated to %d/%d bytes accepted by mapped reader", cut, len(enc))
+		}
+
+		// A flipped byte must be rejected by the heap reader (every byte
+		// is covered by the magic, a checksum, or structural validation).
+		// The mapped reader deliberately skips bulk-array checksums, so
+		// for it the property is weaker: no panic, and any store it does
+		// return must still be structurally sound enough to query.
+		pos := (int(flip)*131 + len(data)) % len(enc)
+		bad := bytes.Clone(enc)
+		bad[pos] ^= 1 | flip
+		if bad[pos] == enc[pos] {
+			return // the "corruption" was the identity; nothing to assert
+		}
+		if _, err := ReadStore[uint16, uint32](bytes.NewReader(bad)); err == nil {
+			t.Fatalf("v2 segment with byte %d flipped accepted by heap reader", pos)
+		}
+		if bst, err := readSegMapped[uint16, uint32](bad, plainCodec[uint32]{}, nil); err == nil {
+			for _, k := range wantK[:min(len(wantK), 8)] {
+				bst.Get(k) // must not panic; values may legitimately differ
+			}
+		}
+	})
+}
+
 // FuzzSegmentRoundTrip drives the segment codec with fuzzer-shaped
 // record sets and checks the three properties the durability layer
 // depends on: encode→decode is the identity on the served records, a

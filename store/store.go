@@ -52,6 +52,14 @@
 // The same codec is public on the static store as Store.WriteTo and
 // ReadStore. Formats and the recovery protocol are specified in
 // ARCHITECTURE.md ("On-disk layout and crash recovery").
+//
+// Fixed-width records (ints, uints, floats) are written in a raw
+// 64-byte-aligned segment format that can be served without decoding:
+// OpenStore with WithMmap — or DBConfig.Mmap for a durable DB — maps
+// segment files read-only and serves the permuted arrays in place from
+// the OS page cache, so cold opens are O(shards) metadata work and the
+// servable dataset is not bounded by the heap. See "Zero-copy serving"
+// in ARCHITECTURE.md.
 package store
 
 import (
@@ -119,6 +127,14 @@ type Config struct {
 	Algorithm perm.Algorithm
 	// Duplicates selects the duplicate-key policy (default KeepLast).
 	Duplicates DuplicatePolicy
+	// Mmap asks OpenStore (and DB segment reopens) to serve codec-v2
+	// segment files from a read-only memory mapping instead of decoding
+	// them onto the heap: open cost drops from O(data) to O(shards), and
+	// the OS page cache — not the Go heap — holds the working set.
+	// Ignored by Build (a built store is heap-born by construction) and
+	// silently degraded to heap decoding when the platform cannot map
+	// files or the segment is v1 (gob). See WithMmap.
+	Mmap bool
 }
 
 // Option configures Build.
@@ -142,6 +158,13 @@ func WithAlgorithm(a perm.Algorithm) Option { return func(c *Config) { c.Algorit
 
 // WithDuplicates selects the duplicate-key policy (default KeepLast).
 func WithDuplicates(d DuplicatePolicy) Option { return func(c *Config) { c.Duplicates = d } }
+
+// WithMmap selects zero-copy serving for OpenStore: a codec-v2 segment
+// file is mapped read-only and its shard arrays are served in place from
+// the page cache, never decoded onto the heap. Platforms without mmap
+// and v1 (gob) segments fall back to heap decoding. See Store.Mapped and
+// Store.Release for the mapping lifecycle.
+func WithMmap(on bool) Option { return func(c *Config) { c.Mmap = on } }
 
 func buildConfig(n int, opts []Option) Config {
 	c := Config{Layout: layout.VEB, B: perm.DefaultB, Algorithm: perm.CycleLeader}
@@ -180,12 +203,21 @@ type shard[K cmp.Ordered] struct {
 // It is safe for concurrent use by any number of reader goroutines. V may
 // be any type; a keys-only Store (the Set alias) carries no value array
 // at all.
+//
+// The shard arrays are held per shard, not as one assumed-contiguous
+// allocation: a Build-born store's shards are windows into one heap
+// array, while a store opened with WithMmap serves each shard directly
+// from its 64-byte-aligned block of a mapped segment file. Every query,
+// iteration, and export path goes through the per-shard views, so the
+// search kernels never know which backing they are reading.
 type Store[K cmp.Ordered, V any] struct {
-	cfg    Config
-	keys   []K // backing array, shards laid out back to back
-	vals   []V // vals[i] is the payload of keys[i]; nil for keys-only stores
-	shards []shard[K]
-	fences []K // fences[i] = smallest key of shard i (sorted ascending)
+	cfg     Config
+	n       int  // total records across shards
+	hasVals bool // false for keys-only stores (no value arrays at all)
+	shards  []shard[K]
+	svals   [][]V    // svals[i][p] = value of shard i's key at position p; nil when !hasVals
+	fences  []K      // fences[i] = smallest key of shard i (sorted ascending)
+	back    *backing // non-nil when the shard arrays view a mapped segment
 }
 
 // Set is a keys-only Store: the value type is struct{} and no value
@@ -283,12 +315,18 @@ func Build[K cmp.Ordered, V any](keys []K, vals []V, opts ...Option) (*Store[K, 
 	// array are contiguous key ranges, so the partition is by key range
 	// with near-perfect balance; fences are read off before the layout
 	// permutation destroys sorted order.
-	s := &Store[K, V]{cfg: c, keys: ownedK, vals: ownedV}
+	s := &Store[K, V]{cfg: c, n: n, hasVals: ownedV != nil}
 	s.shards = make([]shard[K], c.Shards)
 	s.fences = make([]K, c.Shards)
+	if ownedV != nil {
+		s.svals = make([][]V, c.Shards)
+	}
 	for i := 0; i < c.Shards; i++ {
 		lo, hi := i*n/c.Shards, (i+1)*n/c.Shards
 		s.shards[i] = shard[K]{off: lo, idx: search.NewIndex(ownedK[lo:hi:hi], c.Layout, c.B)}
+		if ownedV != nil {
+			s.svals[i] = ownedV[lo:hi:hi]
+		}
 		s.fences[i] = ownedK[lo]
 	}
 
@@ -343,11 +381,11 @@ func dedupe[K cmp.Ordered, V any](keys []K, vals []V, keepLast bool) ([]K, []V) 
 
 // Len returns the number of records the store serves (after duplicate
 // resolution).
-func (s *Store[K, V]) Len() int { return len(s.keys) }
+func (s *Store[K, V]) Len() int { return s.n }
 
 // HasValues reports whether the store carries value payloads; a Set
 // built by BuildSet does not.
-func (s *Store[K, V]) HasValues() bool { return s.vals != nil }
+func (s *Store[K, V]) HasValues() bool { return s.hasVals }
 
 // Shards returns the shard count.
 func (s *Store[K, V]) Shards() int { return len(s.shards) }
