@@ -107,7 +107,9 @@ func DBThroughput(c DBConfig) *Table {
 			}
 			prep := func() {
 				if db != nil {
-					db.Close()
+					if err := db.Close(); err != nil {
+						panic("bench: closing previous db: " + err.Error())
+					}
 				}
 				if dir != "" {
 					os.RemoveAll(dir)
@@ -174,7 +176,9 @@ func DBThroughput(c DBConfig) *Table {
 				os.RemoveAll(dir)
 				dir = ""
 			} else {
-				db.Close()
+				if err := db.Close(); err != nil {
+					panic("bench: closing db: " + err.Error())
+				}
 				db = nil
 			}
 			t.AddRow(row...)

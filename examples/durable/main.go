@@ -71,7 +71,11 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	defer reopened.Close()
+	defer func() {
+		if err := reopened.Close(); err != nil {
+			panic(err)
+		}
+	}()
 
 	st := reopened.Stats()
 	fmt.Printf("reopened: %d runs (%d disk-backed), levels %v\n",

@@ -29,16 +29,17 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	defer db.Close()
+	defer func() { must(db.Close()) }()
 
 	// 2. Write traffic: every Put is a memtable insert under a short
 	//    lock; crossing MemLimit freezes the table and wakes the
-	//    compactor, but the writer never waits for a flush.
+	//    compactor, but the writer never waits for a flush. A nil error
+	//    is the acknowledgment that the write is in.
 	for i := uint64(0); i < 1000; i++ {
-		db.Put(i, fmt.Sprint("value-", i))
+		must(db.Put(i, fmt.Sprint("value-", i)))
 	}
-	db.Put(7, "value-7-rewritten") // overwrite: newest version wins
-	db.Delete(13)                  // delete: a tombstone, not an in-place erase
+	must(db.Put(7, "value-7-rewritten")) // overwrite: newest version wins
+	must(db.Delete(13))                  // delete: a tombstone, not an in-place erase
 
 	// 3. Reads are first-hit-wins through memtable -> frozen -> runs,
 	//    so they see every write above immediately, wherever it lives.
@@ -59,15 +60,24 @@ func main() {
 	// 5. Flush drains everything into runs synchronously — here just to
 	//    make the run stack deterministic for printing; a serving process
 	//    never needs to call it.
-	db.Flush()
+	must(db.Flush())
 	st := db.Stats()
 	fmt.Printf("after flush: %d memtable records, %d runs, levels %v, sizes %v\n",
 		st.MemRecords, st.Runs(), st.RunLevels, st.RunRecords)
 
 	// 6. The DB keeps absorbing writes after compaction; the merged runs
 	//    are immutable history, the memtable is the present.
-	db.Put(2000, "late arrival")
+	must(db.Put(2000, "late arrival"))
 	n := 0
 	db.Scan(func(uint64, string) bool { n++; return true })
 	fmt.Println("total live records:", n)
+}
+
+// must keeps the walkthrough honest about the write API's contract —
+// every error return is a refused acknowledgment — without burying the
+// narrative under error plumbing.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

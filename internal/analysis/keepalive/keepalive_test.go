@@ -1,0 +1,12 @@
+package keepalive_test
+
+import (
+	"testing"
+
+	"implicitlayout/internal/analysis/keepalive"
+	"implicitlayout/internal/analysis/lintkit/analysistest"
+)
+
+func TestKeepalive(t *testing.T) {
+	analysistest.Run(t, "testdata", keepalive.Analyzer, "prefetch")
+}

@@ -1,0 +1,136 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//lint:allow <analyzer> <justification>
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. The justification is mandatory: the comment
+// records WHY the invariant is waived at this site (e.g. "seal's fsync
+// is amortized to one per MemLimit writes"), so a reviewer reading the
+// line gets the argument, not just the waiver. An allow comment with no
+// justification, or naming an analyzer the suite does not run, is
+// reported as a finding in its own right — dead or vague suppressions
+// never accumulate silently.
+
+const allowPrefix = "//lint:allow"
+
+// allowSite is one parsed //lint:allow comment.
+type allowSite struct {
+	analyzer string
+	used     bool
+}
+
+// allowIndex maps file -> line -> suppressions effective on that line.
+type allowIndex map[string]map[int][]*allowSite
+
+// suppressed reports whether d is covered by an allow comment for its
+// analyzer, marking the comment used.
+func (ai allowIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	if ai == nil || !d.Pos.IsValid() {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	for _, site := range ai[pos.Filename][pos.Line] {
+		if site.analyzer == d.Analyzer {
+			site.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// indexAllows parses every //lint:allow comment in files and returns
+// the suppression index plus diagnostics for malformed comments.
+func indexAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (allowIndex, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	idx := make(allowIndex)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowother — not ours
+				}
+				name, justification, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				switch {
+				case name == "":
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "lint:allow names no analyzer (want //lint:allow <analyzer> <justification>)",
+						Analyzer: "lintkit",
+					})
+					continue
+				case !known[name]:
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "lint:allow names unknown analyzer " + name,
+						Analyzer: "lintkit",
+					})
+					continue
+				case strings.TrimSpace(justification) == "":
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "lint:allow " + name + " has no justification; say why the invariant is waived here",
+						Analyzer: "lintkit",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				site := &allowSite{analyzer: name}
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*allowSite)
+					idx[pos.Filename] = lines
+				}
+				// The comment covers its own line; a comment that is the
+				// whole line (it starts the line's source) covers the next
+				// line instead, so suppressions can sit above long calls.
+				lines[pos.Line] = append(lines[pos.Line], site)
+				if startsLine(fset, f, c) {
+					lines[pos.Line+1] = append(lines[pos.Line+1], site)
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// startsLine reports whether comment c is the first token on its line —
+// i.e. nothing but the comment occupies the line, so it documents the
+// line below rather than the code to its left.
+func startsLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	// A trailing comment shares its line with code that began earlier;
+	// scan the file's declarations for any node starting on the same
+	// line before the comment's column.
+	sameLineCode := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || sameLineCode {
+			return false
+		}
+		np := fset.Position(n.Pos())
+		if np.Line == pos.Line && np.Column < pos.Column {
+			sameLineCode = true
+			return false
+		}
+		// Prune subtrees that end before the line of interest.
+		return fset.Position(n.End()).Line >= pos.Line
+	})
+	return !sameLineCode
+}

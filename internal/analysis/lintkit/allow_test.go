@@ -1,0 +1,105 @@
+package lintkit_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"implicitlayout/internal/analysis/lintkit"
+)
+
+// The fixture declares five functions; the dummy analyzer flags every
+// one, and the allow comments decide which findings survive:
+//
+//   - unguarded has no waiver and must be reported;
+//   - covered carries a trailing justified waiver (suppressed);
+//   - coveredAbove is waived by a whole-line comment on the line above
+//     (suppressed);
+//   - the three malformed waivers (no analyzer, unknown analyzer, no
+//     justification) must each produce a lintkit finding AND fail to
+//     suppress the dummy finding on their function.
+const allowSrc = `package p
+
+func unguarded() {}
+
+func covered() {} //lint:allow dummy trailing waiver covers its own line
+
+//lint:allow dummy whole-line waiver covers the next line
+func coveredAbove() {}
+
+//lint:allow
+func noName() {}
+
+//lint:allow nosuch it is not in the suite
+func unknownName() {}
+
+func noWhy() {} //lint:allow dummy
+`
+
+func TestAllowSemantics(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow_fixture.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := lintkit.NewTypesInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dummy := &lintkit.Analyzer{
+		Name: "dummy",
+		Doc:  "flag every function declaration",
+		Run: func(pass *lintkit.Pass) error {
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Name.Pos(), "boom %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	diags, err := lintkit.RunAnalyzers([]*lintkit.Analyzer{dummy}, fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	wantSub := []string{
+		"dummy: boom unguarded",
+		"dummy: boom noName", // malformed waiver suppresses nothing
+		"dummy: boom unknownName",
+		"dummy: boom noWhy",
+		"lintkit: lint:allow names no analyzer",
+		"lintkit: lint:allow names unknown analyzer nosuch",
+		"lintkit: lint:allow dummy has no justification",
+	}
+	for _, w := range wantSub {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing expected finding %q in %q", w, got)
+		}
+	}
+	for _, g := range got {
+		if strings.Contains(g, "boom covered") {
+			t.Errorf("finding on a waived function survived: %q", g)
+		}
+	}
+	if len(diags) != len(wantSub) {
+		t.Errorf("got %d findings, want %d: %q", len(diags), len(wantSub), got)
+	}
+}

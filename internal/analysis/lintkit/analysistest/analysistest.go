@@ -1,0 +1,261 @@
+// Package analysistest runs a lintkit analyzer over fixture packages
+// and checks its findings against expectations written in the fixtures
+// themselves, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	testdata/src/<importpath>/*.go
+//
+// A fixture line that should be flagged carries a trailing comment
+//
+//	x := db.state.Load() // want `loaded 2 times`
+//
+// where each quoted argument (Go string syntax, `...` or "...") is a
+// regular expression that must match the message of one finding on that
+// line. Lines without a want comment must produce no findings. Because
+// the harness runs the same RunAnalyzers path as the real drivers,
+// //lint:allow suppressions are live in fixtures too — a fixture can
+// assert both that a pattern is flagged and that a justified allow
+// comment silences it.
+//
+// Fixture imports resolve testdata-first: an import path that exists
+// under testdata/src is loaded as a fixture (so fixtures can model
+// project packages like "implicitlayout/internal/blockio" with small
+// stubs), and anything else comes from the standard library via the
+// source importer.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"implicitlayout/internal/analysis/lintkit"
+)
+
+// Run analyzes each fixture package (an import path under
+// testdata/src) with a and reports mismatches against the // want
+// expectations through t.
+func Run(t *testing.T, testdata string, a *lintkit.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		fp, err := l.load(path)
+		if err != nil {
+			t.Errorf("loading fixture package %s: %v", path, err)
+			continue
+		}
+		diags, err := lintkit.RunAnalyzers([]*lintkit.Analyzer{a}, l.fset, fp.files, fp.pkg, fp.info)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, l.fset, fp.files, diags)
+	}
+}
+
+// expectation is one `// want` regexp, keyed to its file and line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// check matches findings against expectations one-to-one.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lintkit.Diagnostic) {
+	t.Helper()
+	expects, errs := collectWants(fset, files)
+	for _, err := range errs {
+		t.Error(err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, ex := range expects {
+			if ex.met || ex.file != pos.Filename || ex.line != pos.Line {
+				continue
+			}
+			if ex.re.MatchString(d.Message) {
+				ex.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s (%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, ex := range expects {
+		if !ex.met {
+			t.Errorf("%s:%d: expected finding matching %s, got none", ex.file, ex.line, ex.raw)
+		}
+	}
+}
+
+// collectWants parses every `// want "re" ...` comment in files.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, []error) {
+	var expects []*expectation
+	var errs []error
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					text, ok = strings.CutPrefix(c.Text, "//want ")
+				}
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := splitQuoted(strings.TrimSpace(text))
+				if err != nil {
+					errs = append(errs, fmt.Errorf("%s: bad want comment: %v", pos, err))
+					continue
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						errs = append(errs, fmt.Errorf("%s: bad want regexp: %v", pos, err))
+						continue
+					}
+					expects = append(expects, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: strconv.Quote(p),
+					})
+				}
+			}
+		}
+	}
+	sort.SliceStable(expects, func(i, j int) bool {
+		if expects[i].file != expects[j].file {
+			return expects[i].file < expects[j].file
+		}
+		return expects[i].line < expects[j].line
+	})
+	return expects, errs
+}
+
+// splitQuoted parses a sequence of Go string literals ("..." or `...`).
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		var lit string
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			lit, s = s[:end+1], s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			lit, s = s[:end+2], s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, found %q", s)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %s: %v", lit, err)
+		}
+		out = append(out, unq)
+	}
+	return out, nil
+}
+
+// fixturePkg is one loaded fixture package.
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader typechecks fixture packages, resolving imports testdata-first
+// and std-from-source otherwise.
+type loader struct {
+	root  string
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*fixturePkg
+}
+
+func newLoader(root string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:  root,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*fixturePkg),
+	}
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.cache[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	tc := &types.Config{Importer: importerFunc(l.importPkg)}
+	info := lintkit.NewTypesInfo()
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{files: files, pkg: pkg, info: info}
+	l.cache[path] = fp
+	return fp, nil
+}
+
+// importPkg resolves an import from within a fixture.
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if fi, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		fp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,99 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+)
+
+// Standalone mode: `implicitlint ./...` without go vet. The unitchecker
+// path is the CI gate (it reuses the build's export data and caching);
+// this path exists so a developer can run the suite directly. Packages
+// are enumerated with `go list` and typechecked with the source
+// importer, so it must run from inside the module.
+
+// listedPackage is the subset of `go list -json` output the loader
+// needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+// RunStandalone analyzes the packages matching patterns and prints
+// findings to stderr; the result is the process exit code (1 if any
+// finding, 2 on loader errors).
+func RunStandalone(analyzers []*Analyzer, patterns []string) int {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	exit := 0
+	for _, p := range pkgs {
+		diags, err := analyzeDir(fset, imp, p, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.ImportPath, err)
+			exit = 2
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+func goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errb.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func analyzeDir(fset *token.FileSet, imp types.Importer, p listedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, p.Dir+string(os.PathSeparator)+name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	tc := &types.Config{Importer: imp}
+	info := NewTypesInfo()
+	pkg, err := tc.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return RunAnalyzers(analyzers, fset, files, pkg, info)
+}

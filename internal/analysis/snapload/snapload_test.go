@@ -1,0 +1,12 @@
+package snapload_test
+
+import (
+	"testing"
+
+	"implicitlayout/internal/analysis/lintkit/analysistest"
+	"implicitlayout/internal/analysis/snapload"
+)
+
+func TestSnapload(t *testing.T) {
+	analysistest.Run(t, "testdata", snapload.Analyzer, "snapdb")
+}

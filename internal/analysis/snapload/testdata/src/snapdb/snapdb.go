@@ -1,0 +1,57 @@
+// Package snapdb models the engine's snapshot pattern: immutable state
+// published through one atomic.Pointer field, readers loading it once.
+package snapdb
+
+import "sync/atomic"
+
+type state struct {
+	runs []int
+}
+
+type DB struct {
+	state atomic.Pointer[state]
+	aux   atomic.Pointer[state]
+}
+
+// Get is the disciplined reader: one load, the whole operation served
+// from that snapshot.
+func (db *DB) Get(k int) bool {
+	st := db.state.Load()
+	return st != nil && len(st.runs) > k
+}
+
+// GetTorn is the PR-4-style regression: the second Load may observe a
+// different epoch than the first.
+func (db *DB) GetTorn(k int) bool {
+	if db.state.Load() == nil {
+		return false
+	}
+	st := db.state.Load() // want `db\.state loaded more than once in GetTorn`
+	return len(st.runs) > k
+}
+
+// twoFields loads two DIFFERENT fields once each: not a tear.
+func (db *DB) twoFields() (bool, bool) {
+	return db.state.Load() != nil, db.aux.Load() != nil
+}
+
+// hijack publishes outside the designated helpers.
+func (db *DB) hijack(s *state) {
+	db.state.Store(s) // want `snapshot publish db\.state\.Store outside the publish helpers`
+}
+
+// freezeLocked is on the default publisher list, so its swap is the
+// legitimate commit point.
+func (db *DB) freezeLocked(s *state) {
+	db.state.Store(s)
+}
+
+// mergeOne shows the sanctioned waiver: a publisher re-reads the
+// pointer at the swap point under the mutex, with a justified allow.
+func (db *DB) mergeOne(s *state) {
+	cur := db.state.Load()
+	_ = cur
+	//lint:allow snapload deliberate re-read at the swap point: the lock is held, so this sees entries added since the first snapshot
+	cur = db.state.Load()
+	db.state.Store(s)
+}

@@ -1,0 +1,170 @@
+// Package stickyerr defines a scoped error-consumption analyzer for the
+// durable API.
+//
+// Since PR 4, the write path's error results ARE the durability
+// contract: a nil return from Put/Delete is the acknowledgment that the
+// record reached the log, Flush/Close surface the sticky first-I/O
+// error, and a dropped error means code builds on a write that was
+// never acknowledged. Generic errcheck linters are too broad to gate CI
+// on (they flag every fmt.Fprintf); this analyzer checks exactly the
+// calls whose errors the engine's contract forbids dropping:
+//
+//   - methods named by the "methods" flag (default Put, Delete, Flush,
+//     Close, WriteTo, WriteBlock) whose receiver type is declared in
+//     this module (flag "module", default implicitlayout) — so a
+//     discarded os.File.Close elsewhere is out of scope, but a
+//     discarded DB.Close or blockio.Writer.WriteBlock is a finding;
+//   - package-level functions named by the "funcs" flag (default
+//     WriteFileAtomic, SyncDir) declared in this module.
+//
+// A call is reported when its error result is discarded: used as a
+// statement, deferred, launched with go, or assigned to blank. Test
+// files are exempt (a test that wants to ignore Close can), as are
+// calls whose error lands in a non-blank variable — even one the code
+// later ignores; single-assignment flow is vet's territory, the
+// contract here is "the error must at least reach a variable".
+package stickyerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"implicitlayout/internal/analysis/lintkit"
+)
+
+// Analyzer reports discarded error results from the durable API's
+// contract methods.
+var Analyzer = &lintkit.Analyzer{
+	Name: "stickyerr",
+	Doc: "require consumption of the durable API's error results\n\n" +
+		"Reports discarded errors from module-declared methods (Put/Delete/Flush/Close/WriteTo/WriteBlock) and " +
+		"blockio's atomic-write functions: a dropped error silently builds on an unacknowledged write.",
+	Run: run,
+}
+
+var (
+	methodNames = "Put,Delete,Flush,Close,WriteTo,WriteBlock"
+	funcNames   = "WriteFileAtomic,SyncDir"
+	modulePath  = "implicitlayout"
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&methodNames, "methods", methodNames,
+		"comma-separated method names whose error results must be consumed (module-declared receivers only)")
+	Analyzer.Flags.StringVar(&funcNames, "funcs", funcNames,
+		"comma-separated function names whose error results must be consumed (module-declared only)")
+	Analyzer.Flags.StringVar(&modulePath, "module", modulePath,
+		"module path prefix scoping the checked declarations")
+}
+
+func run(pass *lintkit.Pass) error {
+	methods := nameSet(methodNames)
+	funcs := nameSet(funcNames)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		checkFile(pass, f, methods, funcs)
+	}
+	return nil
+}
+
+func nameSet(csv string) map[string]bool {
+	set := make(map[string]bool)
+	for _, n := range strings.Split(csv, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			set[n] = true
+		}
+	}
+	return set
+}
+
+func isTestFile(pass *lintkit.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.FileStart).Filename, "_test.go")
+}
+
+func checkFile(pass *lintkit.Pass, f *ast.File, methods, funcs map[string]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				report(pass, call, methods, funcs, "discarded")
+			}
+			return true
+		case *ast.DeferStmt:
+			report(pass, n.Call, methods, funcs, "discarded by defer")
+			return true
+		case *ast.GoStmt:
+			report(pass, n.Call, methods, funcs, "discarded by go")
+			return true
+		case *ast.AssignStmt:
+			checkAssign(pass, n, methods, funcs)
+			return true
+		}
+		return true
+	})
+}
+
+// checkAssign flags contract calls whose error result position is
+// assigned to blank.
+func checkAssign(pass *lintkit.Pass, asg *ast.AssignStmt, methods, funcs map[string]bool) {
+	if len(asg.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(asg.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, errIdx, ok := contractCall(pass, call, methods, funcs)
+	if !ok || errIdx >= len(asg.Lhs) {
+		return
+	}
+	if id, isIdent := ast.Unparen(asg.Lhs[errIdx]).(*ast.Ident); isIdent && id.Name == "_" {
+		pass.Reportf(call.Pos(), "error result of %s assigned to blank: %s", label(fn), contractMsg)
+	}
+}
+
+const contractMsg = "the return is the durability acknowledgment; check it"
+
+func report(pass *lintkit.Pass, call *ast.CallExpr, methods, funcs map[string]bool, how string) {
+	if fn, _, ok := contractCall(pass, call, methods, funcs); ok {
+		pass.Reportf(call.Pos(), "error result of %s %s: %s", label(fn), how, contractMsg)
+	}
+}
+
+// contractCall reports whether call is a contract call whose results
+// include an error, returning the callee and the error result index.
+func contractCall(pass *lintkit.Pass, call *ast.CallExpr, methods, funcs map[string]bool) (*types.Func, int, bool) {
+	fn := lintkit.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !inModule(fn.Pkg().Path()) {
+		return nil, 0, false
+	}
+	isMethod := lintkit.ReceiverNamed(fn) != nil
+	if isMethod && !methods[fn.Name()] || !isMethod && !funcs[fn.Name()] {
+		return nil, 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, 0, false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return fn, i, true
+		}
+	}
+	return nil, 0, false
+}
+
+func inModule(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}
+
+func label(fn *types.Func) string {
+	if named := lintkit.ReceiverNamed(fn); named != nil {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}

@@ -1,0 +1,12 @@
+package stickyerr_test
+
+import (
+	"testing"
+
+	"implicitlayout/internal/analysis/lintkit/analysistest"
+	"implicitlayout/internal/analysis/stickyerr"
+)
+
+func TestStickyerr(t *testing.T) {
+	analysistest.Run(t, "testdata", stickyerr.Analyzer, "implicitlayout/fixdb")
+}

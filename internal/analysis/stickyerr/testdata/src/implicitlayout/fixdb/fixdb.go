@@ -1,0 +1,47 @@
+// Package fixdb models the durable API: module-declared methods whose
+// error results are the durability acknowledgment.
+package fixdb
+
+import "implicitlayout/internal/blockio"
+
+type DB struct{}
+
+func (db *DB) Put(k, v uint64) error       { return nil }
+func (db *DB) Delete(k uint64) error       { return nil }
+func (db *DB) Close() error                { return nil }
+func (db *DB) Get(k uint64) (uint64, bool) { return 0, false }
+func (db *DB) Stats() (int, error)         { return 0, nil }
+
+func useBad(db *DB) {
+	db.Put(1, 2)     // want `error result of DB\.Put discarded`
+	defer db.Close() // want `error result of DB\.Close discarded by defer`
+	_ = db.Delete(3) // want `error result of DB\.Delete assigned to blank`
+	go db.Close()    // want `error result of DB\.Close discarded by go`
+}
+
+func useBlockio() {
+	blockio.WriteFileAtomic("MANIFEST", nil) // want `error result of blockio\.WriteFileAtomic discarded`
+}
+
+func useGood(db *DB) error {
+	if err := db.Put(1, 2); err != nil {
+		return err
+	}
+	// Methods off the contract list are not the analyzer's business.
+	db.Get(5)
+	// The contract is "the error reaches a variable" — flow after that
+	// is vet's territory.
+	n, err := db.Stats()
+	_ = n
+	if err != nil {
+		return err
+	}
+	return db.Close()
+}
+
+// useWaived records a site where dropping the error is argued and
+// waived rather than silently ignored.
+func useWaived(db *DB) {
+	//lint:allow stickyerr best-effort close on the error path; the primary error is already being returned
+	db.Close()
+}

@@ -1,0 +1,8 @@
+package fixdb
+
+// Test files are exempt: a test that wants to ignore Close can. No
+// finding is expected anywhere in this file.
+func drainForTest(db *DB) {
+	db.Put(1, 2)
+	db.Close()
+}

@@ -1,0 +1,329 @@
+// Package syncorder defines an analyzer that keeps disk syncs out of
+// lock critical sections.
+//
+// PR 4's group-commit fix moved the SyncWrites fsync to the ack side:
+// the write-ahead-log append and memtable apply happen under db.mu, the
+// lock is released, and only then does the writer fsync — so concurrent
+// readers never stall behind a disk sync, and one writer's fsync covers
+// every append that beat it. The invariant is easy to regress: any
+// future code path that calls File.Sync, blockio.WriteFileAtomic, or
+// blockio.SyncDir — directly or through a helper — while a contended
+// mutex is held reintroduces multi-millisecond reader stalls.
+//
+// The analyzer computes, per package, the set of "syncing" functions: a
+// function that directly fsyncs ((*os.File).Sync, or a call into
+// internal/blockio's WriteFileAtomic/SyncDir, both of which fsync
+// internally), or that calls a same-package syncing function
+// (transitive closure over the package-local call graph). It then walks
+// every function tracking which tracked mutexes are held — Lock/RLock
+// through Unlock/RUnlock on selector paths whose final field name is in
+// the "locks" flag (default "mu", the reader-contended locks; the
+// compactor's serialization mutex is deliberately named differently) —
+// and reports any call to a syncing function inside a held region.
+// Deliberate exceptions (the freeze path's amortized seal) carry
+// //lint:allow syncorder waivers with their justification.
+package syncorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"implicitlayout/internal/analysis/lintkit"
+)
+
+// Analyzer reports fsync-reaching calls made while a tracked mutex is
+// held.
+var Analyzer = &lintkit.Analyzer{
+	Name: "syncorder",
+	Doc: "flag disk syncs performed while a tracked mutex is held\n\n" +
+		"Reports calls that reach File.Sync / blockio.WriteFileAtomic / blockio.SyncDir (directly or through " +
+		"same-package helpers) between Lock and Unlock of a tracked mutex; fsync belongs after the lock is " +
+		"released (ack-side group commit).",
+	Run: run,
+}
+
+// trackedLocks names the mutex fields whose critical sections must not
+// sync: the reader-contended ones.
+var trackedLocks = "mu"
+
+// blockioPkg is the path suffix of the framed-block I/O package whose
+// writers fsync internally.
+var blockioPkg = "internal/blockio"
+
+func init() {
+	Analyzer.Flags.StringVar(&trackedLocks, "locks", trackedLocks,
+		"comma-separated mutex field names whose critical sections must not reach an fsync")
+}
+
+func run(pass *lintkit.Pass) error {
+	locks := make(map[string]bool)
+	for _, name := range strings.Split(trackedLocks, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			locks[name] = true
+		}
+	}
+	funcs := lintkit.EnclosingFuncs(pass.TypesInfo, pass.Files)
+	syncers := syncingFuncs(pass, funcs)
+	for fd := range funcs {
+		w := &walker{pass: pass, locks: locks, syncers: syncers}
+		w.stmts(fd.Body.List, map[string]bool{})
+	}
+	return nil
+}
+
+// syncingFuncs returns the package-local functions that reach an fsync:
+// direct sync sites plus the transitive closure over same-package
+// calls.
+func syncingFuncs(pass *lintkit.Pass, funcs map[*ast.FuncDecl]*types.Func) map[*types.Func]bool {
+	calls := make(map[*types.Func][]*types.Func) // caller -> callees (same package)
+	syncers := make(map[*types.Func]bool)
+	for fd, fn := range funcs {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := lintkit.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil {
+				return true
+			}
+			if isDirectSync(callee) {
+				syncers[fn] = true
+			} else if callee.Pkg() == pass.Pkg {
+				calls[fn] = append(calls[fn], callee)
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for caller, callees := range calls {
+			if syncers[caller] {
+				continue
+			}
+			for _, callee := range callees {
+				if syncers[callee] {
+					syncers[caller] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return syncers
+}
+
+// isDirectSync reports whether fn itself syncs to disk: (*os.File).Sync
+// or blockio's atomic-write primitives (which fsync internally).
+func isDirectSync(fn *types.Func) bool {
+	if lintkit.IsMethodOf(fn, "os", "File", "Sync") {
+		return true
+	}
+	if fn.Pkg() != nil && lintkit.PkgPathMatches(fn.Pkg().Path(), blockioPkg) {
+		switch fn.Name() {
+		case "WriteFileAtomic", "SyncDir":
+			return true
+		}
+	}
+	return false
+}
+
+// walker tracks held mutexes through a statement list. Lock adds the
+// mutex's rendered selector path to held; Unlock removes it; nested
+// control-flow bodies get a copy, so an early-unlock-and-return branch
+// does not release the lock on the fallthrough path.
+type walker struct {
+	pass    *lintkit.Pass
+	locks   map[string]bool
+	syncers map[*types.Func]bool
+}
+
+func (w *walker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if mu, op, ok := w.lockOp(s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[mu] = true
+			case "Unlock", "RUnlock":
+				delete(held, mu)
+			}
+			return
+		}
+		w.checkCalls(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at return, not here: the region
+		// extends to the end of the function, which the held set
+		// already models. Any other deferred call runs after the
+		// critical section too — skip.
+		if _, _, ok := w.lockOp(s.Call); !ok {
+			// Argument expressions evaluate now, under the lock.
+			for _, arg := range s.Call.Args {
+				w.checkCalls(arg, held)
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, copyHeld(held))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.checkCalls(s.Cond, held)
+		w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkCalls(s.Cond, held)
+		}
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		w.checkCalls(s.X, held)
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkCalls(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.GoStmt:
+		// The goroutine runs concurrently, not under this lock.
+	default:
+		// Assignments, returns, sends, etc.: scan contained
+		// expressions for calls.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // runs later, not necessarily under the lock
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				w.checkCall(call, held)
+			}
+			return true
+		})
+	}
+}
+
+// checkCalls scans an expression (not a FuncLit body) for calls made
+// while held.
+func (w *walker) checkCalls(e ast.Expr, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			w.checkCall(call, held)
+		}
+		return true
+	})
+}
+
+func (w *walker) checkCall(call *ast.CallExpr, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	callee := lintkit.CalleeFunc(w.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	if isDirectSync(callee) || w.syncers[callee] {
+		mus := make([]string, 0, len(held))
+		for mu := range held {
+			mus = append(mus, mu)
+		}
+		w.pass.Reportf(call.Pos(),
+			"%s reaches an fsync while %s is held; sync after releasing the lock (ack-side group commit, PR 4)",
+			calleeLabel(callee), strings.Join(mus, ", "))
+	}
+}
+
+// lockOp decodes e as mu.Lock()/Unlock()/RLock()/RUnlock() on a tracked
+// sync.Mutex or sync.RWMutex path and returns the rendered mutex
+// expression.
+func (w *walker) lockOp(e ast.Expr) (mu, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, _ := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	named := lintkit.ReceiverNamed(fn)
+	if named == nil {
+		return "", "", false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	// Track only mutexes whose final path element is a configured name.
+	if inner, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr); isSel {
+		if !w.locks[inner.Sel.Name] {
+			return "", "", false
+		}
+	} else if id, isIdent := ast.Unparen(sel.X).(*ast.Ident); isIdent {
+		if !w.locks[id.Name] {
+			return "", "", false
+		}
+	} else {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func calleeLabel(fn *types.Func) string {
+	if named := lintkit.ReceiverNamed(fn); named != nil {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,12 @@
+package syncorder_test
+
+import (
+	"testing"
+
+	"implicitlayout/internal/analysis/lintkit/analysistest"
+	"implicitlayout/internal/analysis/syncorder"
+)
+
+func TestSyncorder(t *testing.T) {
+	analysistest.Run(t, "testdata", syncorder.Analyzer, "syncdb")
+}

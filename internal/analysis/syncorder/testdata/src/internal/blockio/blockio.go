@@ -1,0 +1,8 @@
+// Package blockio is a stub of the engine's framed-block I/O package:
+// the analyzer treats these writers as direct fsyncs because the real
+// ones sync internally.
+package blockio
+
+func WriteFileAtomic(path string, b []byte) error { return nil }
+
+func SyncDir(dir string) error { return nil }

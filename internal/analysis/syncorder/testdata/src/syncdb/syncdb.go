@@ -1,0 +1,81 @@
+// Package syncdb models the ack-side group-commit discipline: no call
+// that reaches an fsync may run while the reader-contended mutex "mu"
+// is held.
+package syncdb
+
+import (
+	"internal/blockio"
+	"os"
+	"sync"
+)
+
+type DB struct {
+	mu   sync.Mutex
+	gate sync.Mutex // untracked name: the compactor-style serialization lock
+	f    *os.File
+}
+
+// putSyncUnderLock is the PR-4 regression reintroduced: the fsync sits
+// inside the critical section, stalling every concurrent reader.
+func (db *DB) putSyncUnderLock() {
+	db.mu.Lock()
+	db.f.Sync() // want `File\.Sync reaches an fsync while db\.mu is held`
+	db.mu.Unlock()
+}
+
+// putAckSide is the fix: append under the lock, release, then sync.
+func (db *DB) putAckSide() {
+	db.mu.Lock()
+	db.mu.Unlock()
+	db.f.Sync()
+}
+
+// freeze reaches the fsync through a same-package helper: the
+// transitive closure still catches it.
+func (db *DB) freeze() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.seal() // want `DB\.seal reaches an fsync while db\.mu is held`
+}
+
+// seal itself holds no lock; it is merely a syncing function.
+func (db *DB) seal() {
+	db.f.Sync()
+}
+
+// manifest: blockio's atomic writers fsync internally, so they count as
+// direct syncs.
+func (db *DB) manifest() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	blockio.WriteFileAtomic("MANIFEST", nil) // want `WriteFileAtomic reaches an fsync while db\.mu is held`
+}
+
+// compactSync: locks not named by the -syncorder.locks flag are not
+// reader-contended and do not gate syncs.
+func (db *DB) compactSync() {
+	db.gate.Lock()
+	db.f.Sync()
+	db.gate.Unlock()
+}
+
+// branchy: an early unlock-and-return branch releases the lock only on
+// that path; the fallthrough is still inside the critical section.
+func (db *DB) branchy(ok bool) {
+	db.mu.Lock()
+	if ok {
+		db.mu.Unlock()
+		db.f.Sync()
+		return
+	}
+	db.f.Sync() // want `File\.Sync reaches an fsync while db\.mu is held`
+	db.mu.Unlock()
+}
+
+// sealWaived carries the sanctioned amortization waiver.
+func (db *DB) sealWaived() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	//lint:allow syncorder amortized seal: one fsync per MemLimit writes, ordered against concurrent appends
+	db.seal()
+}

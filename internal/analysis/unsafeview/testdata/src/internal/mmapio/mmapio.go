@@ -1,0 +1,47 @@
+// Package mmapio models the allowlisted package: unsafe.Slice is legal
+// here, but only behind the View/Bytes guard pattern.
+package mmapio
+
+import "unsafe"
+
+// view is the canonical checked cast: a length-multiple guard and an
+// alignment guard both precede the reinterpretation.
+func view(b []byte) []uint64 {
+	var z uint64
+	w := int(unsafe.Sizeof(z))
+	if len(b)%w != 0 {
+		return nil
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	if uintptr(p)%unsafe.Alignof(z) != 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(p), len(b)/w)
+}
+
+// bytes goes the other direction: byte has width 1 and alignment 1, so
+// no guard is required.
+func bytes(a []uint64) []byte {
+	p := unsafe.Pointer(unsafe.SliceData(a))
+	return unsafe.Slice((*byte)(p), 8*len(a))
+}
+
+// unguarded reinterprets with neither check: both findings fire.
+func unguarded(b []byte) []uint32 {
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	return unsafe.Slice((*uint32)(p), len(b)/4) // want `no length-multiple guard` `no alignment guard`
+}
+
+// halfGuarded checks the length but not the alignment.
+func halfGuarded(b []byte) []uint32 {
+	if len(b)%4 != 0 {
+		return nil
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	return unsafe.Slice((*uint32)(p), len(b)/4) // want `no alignment guard`
+}
+
+// rawAdd: pointer arithmetic is outside the pattern even here.
+func rawAdd(p unsafe.Pointer) unsafe.Pointer {
+	return unsafe.Add(p, 8) // want `unsafe\.Add is outside the View/Bytes pattern`
+}

@@ -1,0 +1,29 @@
+// Package outside models engine code that is NOT on the unsafe
+// allowlist: any reinterpretation here must be reported, size queries
+// must not be.
+package outside
+
+import "unsafe"
+
+type hdr struct{ magic, count uint64 }
+
+// Size queries reinterpret nothing and are legal everywhere.
+const hdrSize = unsafe.Sizeof(hdr{})
+
+func deref(p *uint16) byte {
+	return *(*byte)(unsafe.Pointer(p)) // want `use of unsafe\.Pointer outside the unsafe allowlist`
+}
+
+func slice(p *byte, n int) []byte {
+	return unsafe.Slice(p, n) // want `use of unsafe\.Slice outside the unsafe allowlist`
+}
+
+func align() uintptr {
+	return unsafe.Alignof(hdr{}) // size query: fine
+}
+
+// A justified allow waives the ban for a reviewed one-off; the comment
+// on its own line covers the declaration below.
+//
+//lint:allow unsafeview reviewed FFI shim, pointer never dereferenced
+func shim(p unsafe.Pointer) uintptr { return uintptr(p) }

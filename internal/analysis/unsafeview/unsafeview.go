@@ -1,0 +1,265 @@
+// Package unsafeview defines an analyzer that confines unsafe memory
+// reinterpretation to the checked View/Bytes pattern of
+// internal/mmapio.
+//
+// The engine serves mmap'd segment bytes as typed shard arrays, which
+// requires exactly one kind of unsafe code: reinterpreting []byte as
+// []T (and back) for fixed-width T. PR 5 concentrated that in
+// mmapio.View and mmapio.Bytes, where the byte length is checked to be
+// a whole multiple of the element width and the pointer checked to be
+// aligned for T before unsafe.Slice runs — a cast that cannot silently
+// produce a slice whose tail reads out of bounds or whose loads trap on
+// alignment-strict hardware. This analyzer keeps the invariant machine-
+// checked as the codebase grows:
+//
+//   - Outside the allowlisted packages (flag "allow", default
+//     internal/mmapio), any use of package unsafe is reported, except
+//     the compile-time size queries unsafe.Sizeof, unsafe.Alignof and
+//     unsafe.Offsetof, which reinterpret nothing.
+//   - Inside an allowlisted package, unsafe.Add, unsafe.String and
+//     unsafe.StringData are still reported (raw pointer arithmetic and
+//     string aliasing are outside the pattern), and every
+//     unsafe.Slice((*T)(p), n) reinterpretation to a non-byte element
+//     type must be preceded, in the same function, by both a
+//     length-multiple check (a % expression over a len() or Sizeof
+//     value) and an alignment check (a % expression over a uintptr or
+//     Alignof value). Casting to []byte needs no guards: byte has size
+//     and alignment 1.
+package unsafeview
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"implicitlayout/internal/analysis/lintkit"
+)
+
+// Analyzer confines unsafe reinterpretation to checked View/Bytes casts
+// in allowlisted packages.
+var Analyzer = &lintkit.Analyzer{
+	Name: "unsafeview",
+	Doc: "confine package unsafe to checked View/Bytes reinterpretation in allowlisted packages\n\n" +
+		"Reports any use of unsafe outside the allowlist (except Sizeof/Alignof/Offsetof), and, inside it, " +
+		"unsafe.Slice casts to non-byte element types that are not guarded by length-multiple and alignment checks.",
+	Run: run,
+}
+
+var allowedPkgs = "internal/mmapio"
+
+func init() {
+	Analyzer.Flags.StringVar(&allowedPkgs, "allow", allowedPkgs,
+		"comma-separated package path suffixes where unsafe reinterpretation is permitted")
+}
+
+// sizeQueries are the unsafe operations that compute layout constants
+// without reinterpreting memory; they are permitted everywhere.
+var sizeQueries = map[string]bool{"Sizeof": true, "Alignof": true, "Offsetof": true}
+
+// rawOps are never part of the View/Bytes pattern, even in allowlisted
+// packages.
+var rawOps = map[string]bool{"Add": true, "String": true, "StringData": true}
+
+func run(pass *lintkit.Pass) error {
+	inAllowed := lintkit.PkgPathMatches(pass.Pkg.Path(), allowedPkgs)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && inAllowed {
+				checkAllowedFunc(pass, fd)
+				continue
+			}
+			checkNoUnsafe(pass, decl, inAllowed)
+		}
+	}
+	return nil
+}
+
+// checkNoUnsafe reports unsafe references in code that may not hold
+// any (non-function decls everywhere; all decls outside the allowlist).
+func checkNoUnsafe(pass *lintkit.Pass, n ast.Node, inAllowed bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name, ok := unsafeRef(pass.TypesInfo, sel)
+		if !ok || sizeQueries[name] {
+			return true
+		}
+		if inAllowed {
+			// Package-level unsafe in an allowlisted package: only the
+			// raw ops are categorically out; conversions in var
+			// initializers get the same report as elsewhere because no
+			// guard can precede them.
+			pass.Reportf(sel.Pos(), "unsafe.%s outside a function body; reinterpretation belongs in a guarded function (mmapio.View/Bytes pattern)", name)
+			return true
+		}
+		pass.Reportf(sel.Pos(), "use of unsafe.%s outside the unsafe allowlist (%s); zero-copy reinterpretation belongs behind internal/mmapio View/Bytes", name, allowedPkgs)
+		return true
+	})
+}
+
+// checkAllowedFunc enforces the guarded-cast pattern inside an
+// allowlisted package's function.
+func checkAllowedFunc(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	// Pre-scan the body for guard expressions, recording their
+	// positions: a guard only protects casts that follow it.
+	var lenGuards, alignGuards []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.REM {
+			return true
+		}
+		if mentionsWidth(pass.TypesInfo, be) {
+			lenGuards = append(lenGuards, be.Pos())
+		}
+		if mentionsAlignment(pass.TypesInfo, be) {
+			alignGuards = append(alignGuards, be.Pos())
+		}
+		return true
+	})
+	guardedBefore := func(guards []token.Pos, pos token.Pos) bool {
+		for _, g := range guards {
+			if g < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name, ok := unsafeRef(pass.TypesInfo, sel)
+		if !ok {
+			return true
+		}
+		switch {
+		case sizeQueries[name]:
+		case rawOps[name]:
+			pass.Reportf(sel.Pos(), "unsafe.%s is outside the View/Bytes pattern even in allowlisted packages; use a checked slice reinterpretation", name)
+		case name == "Slice":
+			checkSliceCast(pass, sel, guardedBefore, lenGuards, alignGuards)
+		}
+		return true
+	})
+}
+
+// checkSliceCast validates one unsafe.Slice call site.
+func checkSliceCast(pass *lintkit.Pass, sel *ast.SelectorExpr, guardedBefore func([]token.Pos, token.Pos) bool, lenGuards, alignGuards []token.Pos) {
+	call := enclosingCall(pass, sel)
+	if call == nil || len(call.Args) != 2 {
+		return
+	}
+	elem := sliceElemType(pass.TypesInfo, call.Args[0])
+	if elem == nil {
+		return
+	}
+	if basic, ok := elem.Underlying().(*types.Basic); ok && basic.Kind() == types.Uint8 {
+		return // []byte direction: width 1, alignment 1, nothing to check
+	}
+	if !guardedBefore(lenGuards, call.Pos()) {
+		pass.Reportf(call.Pos(), "unchecked reinterpretation to []%s: no length-multiple guard (len(b) %% width) precedes this unsafe.Slice", elem)
+	}
+	if !guardedBefore(alignGuards, call.Pos()) {
+		pass.Reportf(call.Pos(), "unchecked reinterpretation to []%s: no alignment guard (uintptr(p) %% align) precedes this unsafe.Slice", elem)
+	}
+}
+
+// enclosingCall returns the CallExpr whose Fun is sel, found by type
+// information rather than parent tracking: sel's type is a builtin
+// signature, so look it up in the expression's parent via Pos scanning.
+func enclosingCall(pass *lintkit.Pass, sel *ast.SelectorExpr) *ast.CallExpr {
+	var found *ast.CallExpr
+	for _, f := range pass.Files {
+		if f.FileStart <= sel.Pos() && sel.Pos() < f.FileEnd {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+					found = call
+					return false
+				}
+				return found == nil
+			})
+		}
+	}
+	return found
+}
+
+// sliceElemType returns T for a first argument of form (*T)(p), or the
+// pointee of the argument's pointer type in general.
+func sliceElemType(info *types.Info, arg ast.Expr) types.Type {
+	tv, ok := info.Types[arg]
+	if !ok {
+		return nil
+	}
+	ptr, ok := tv.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	return ptr.Elem()
+}
+
+// unsafeRef reports whether sel is a reference unsafe.<name>.
+func unsafeRef(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "unsafe" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// mentionsWidth reports whether a % expression involves a len() call or
+// an unsafe.Sizeof-derived value — the shape of a "whole number of
+// elements" check.
+func mentionsWidth(info *types.Info, be *ast.BinaryExpr) bool {
+	found := false
+	ast.Inspect(be, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "len" {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if name, ok := unsafeRef(info, fun); ok && name == "Sizeof" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsAlignment reports whether a % expression involves a uintptr
+// conversion or unsafe.Alignof — the shape of an alignment check.
+func mentionsAlignment(info *types.Info, be *ast.BinaryExpr) bool {
+	found := false
+	ast.Inspect(be, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fun, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if name, ok := unsafeRef(info, fun); ok && name == "Alignof" {
+					found = true
+				}
+			}
+		case ast.Expr:
+			if tv, ok := info.Types[n]; ok {
+				if basic, ok := tv.Type.(*types.Basic); ok && basic.Kind() == types.Uintptr {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

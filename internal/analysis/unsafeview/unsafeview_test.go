@@ -1,0 +1,12 @@
+package unsafeview_test
+
+import (
+	"testing"
+
+	"implicitlayout/internal/analysis/lintkit/analysistest"
+	"implicitlayout/internal/analysis/unsafeview"
+)
+
+func TestUnsafeview(t *testing.T) {
+	analysistest.Run(t, "testdata", unsafeview.Analyzer, "outside", "internal/mmapio")
+}

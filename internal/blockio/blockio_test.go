@@ -200,3 +200,71 @@ func TestFrameWalkErrors(t *testing.T) {
 		t.Fatalf("negative offset: %v, want ErrCorrupt", err)
 	}
 }
+
+func TestFrameEdgeCases(t *testing.T) {
+	// A zero-length payload frame that is the whole buffer: the frame
+	// parses (empty payload, not nil semantics the caller must guess
+	// at), next lands exactly at len(b), and the walk then ends with a
+	// clean io.EOF — the "frame ends exactly at EOF" boundary.
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteBlock('e', nil); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	tag, payload, next, err := Frame(b, 0, true)
+	if err != nil {
+		t.Fatalf("zero-length frame: %v", err)
+	}
+	if tag != 'e' || len(payload) != 0 {
+		t.Fatalf("zero-length frame: tag %c, %d payload bytes", tag, len(payload))
+	}
+	if next != len(b) {
+		t.Fatalf("zero-length frame: next=%d, want %d", next, len(b))
+	}
+	if _, _, _, err := Frame(b, next, true); err != io.EOF {
+		t.Fatalf("after final frame: %v, want io.EOF", err)
+	}
+
+	// The same walk must hold with verification off: skipping the CRC
+	// must not skip the structural checks.
+	if _, _, _, err := Frame(b, 0, false); err != nil {
+		t.Fatalf("zero-length frame, verify off: %v", err)
+	}
+	if _, _, _, err := Frame(b, next, false); err != io.EOF {
+		t.Fatalf("after final frame, verify off: %v, want io.EOF", err)
+	}
+	if _, _, _, err := Frame(b[:HeaderSize-1], 0, false); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn header, verify off: %v, want ErrUnexpectedEOF", err)
+	}
+	if _, _, _, err := Frame(b, len(b)+1, false); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("offset past the end, verify off: %v, want ErrCorrupt", err)
+	}
+	if _, _, _, err := Frame(b, -1, false); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("negative offset, verify off: %v, want ErrCorrupt", err)
+	}
+
+	// A payload subslice is capacity-clamped to its own frame: a caller
+	// appending to it must reallocate rather than scribble over the
+	// header of the frame that follows in the mapped file.
+	buf.Reset()
+	bw := NewWriter(&buf)
+	if err := bw.WriteBlock('a', []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WriteBlock('b', []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	b = buf.Bytes()
+	_, payload, next, err = Frame(b, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(payload) != len(payload) {
+		t.Fatalf("payload capacity %d leaks past its frame (len %d)", cap(payload), len(payload))
+	}
+	grown := append(payload, '!')
+	if tag, second, _, err := Frame(b, next, true); err != nil || tag != 'b' || !bytes.Equal(second, []byte("second")) {
+		t.Fatalf("append to first payload damaged the next frame: tag %c, %q, %v", tag, second, err)
+	}
+	_ = grown
+}

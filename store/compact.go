@@ -78,6 +78,7 @@ func (db *DB[K, V]) flushOne() bool {
 	}
 
 	db.mu.Lock()
+	//lint:allow snapload deliberate re-read at the swap point: db.mu is held, so this load sees the frozen entries added since the first snapshot
 	cur := db.state.Load() // frozen may have grown at the front meanwhile
 	ns := &dbstate[K, V]{
 		frozen: cur.frozen[: len(cur.frozen)-1 : len(cur.frozen)-1],
@@ -180,6 +181,7 @@ func (db *DB[K, V]) mergeOne() bool {
 	}
 
 	db.mu.Lock()
+	//lint:allow snapload deliberate re-read at the swap point: db.mu is held, so this load sees frozen entries added since the merge began
 	cur := db.state.Load() // cur.frozen may differ from st.frozen; runs cannot
 	db.state.Store(&dbstate[K, V]{frozen: cur.frozen, runs: nr})
 	db.mu.Unlock()

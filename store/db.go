@@ -416,6 +416,7 @@ func (db *DB[K, V]) write(key K, mv mval[V]) error {
 	db.active.put(key, mv)
 	kick := false
 	if db.active.len() >= db.cfg.MemLimit {
+		//lint:allow syncorder freeze seals the WAL under db.mu by design: one fsync per MemLimit writes, amortized, and the seal must be ordered against concurrent appends
 		db.freezeLocked(true)
 		kick = true
 	}
@@ -576,6 +577,7 @@ func (db *DB[K, V]) rangeMerge(lo, hi K, all bool, yield func(key K, val V) bool
 // sticky durability error, nil in memory-only mode.
 func (db *DB[K, V]) Flush() error {
 	db.mu.Lock()
+	//lint:allow syncorder freeze seals the WAL under db.mu by design: Flush is an explicit stop-the-world drain, not the serving write path
 	db.freezeLocked(true)
 	db.mu.Unlock()
 	db.maintain()
@@ -597,6 +599,7 @@ func (db *DB[K, V]) Close() error {
 		return db.err()
 	}
 	db.closed = true
+	//lint:allow syncorder freeze seals the WAL under db.mu by design: Close is shutdown, no concurrent readers left to stall
 	db.freezeLocked(false)
 	db.mu.Unlock()
 	db.maintain() // drain ALL frozen memtables (and merges) synchronously

@@ -111,14 +111,14 @@ func openSegMapped[K cmp.Ordered, V any](path string, codec segCodec[V], opts []
 	}
 	st, err := readSegMapped[K, V](region.Bytes(), codec, opts)
 	if err != nil {
-		region.Close()
-		return nil, err
+		return nil, errors.Join(err, region.Close())
 	}
 	st.back = &backing{release: region.Close}
 	// The safety net that makes "snapshot epochs end at garbage
 	// collection" hold for mapped runs too: when the last reference to
 	// the store dies, the mapping goes with it. Release (or a second
 	// cleanup) is harmless — Region.Close is idempotent.
+	//lint:allow stickyerr GC-triggered last-resort unmap: there is no caller to hand the error to, and a failed munmap only leaks address space
 	runtime.AddCleanup(st, func(r *mmapio.Region) { r.Close() }, region)
 	// Point queries dominate serving; tell the OS not to read ahead.
 	region.Advise(mmapio.Random)

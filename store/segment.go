@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"cmp"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -153,8 +154,9 @@ type segTrailer struct {
 // hostEndian returns this machine's byte order tag as recorded in v2
 // headers.
 func hostEndian() string {
-	var x uint16 = 1
-	if *(*byte)(unsafe.Pointer(&x)) == 1 {
+	var buf [2]byte
+	binary.NativeEndian.PutUint16(buf[:], 1)
+	if buf[0] == 1 {
 		return "little"
 	}
 	return "big"

@@ -139,6 +139,7 @@ func (w *walWriter) syncAck() error {
 	if w.sealed {
 		return nil // covered by the seal's (successful) fsync
 	}
+	//lint:allow syncorder w.mu exists precisely to order this fsync against seal; db.mu is NOT held here — that is the ack-side group commit
 	if err := w.f.Sync(); err != nil {
 		w.fsyncErr = fmt.Errorf("store: syncing WAL: %w", err)
 		return w.fsyncErr
@@ -160,6 +161,7 @@ func (w *walWriter) seal() error {
 		w.f.Close()
 		return w.fsyncErr
 	}
+	//lint:allow syncorder the seal's fsync must hold w.mu so racing syncAck calls cannot ack against a closed fd; w.mu is never reader-contended
 	if err := w.f.Sync(); err != nil {
 		// Latch the failure before anything else: a SyncWrites writer
 		// racing this seal must see it from syncAck, not a false ack.
