@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"implicitlayout/layout"
+)
+
+// TestBatchThroughputSmoke runs the batched-search benchmark at tiny
+// scale — heap and mmap rows — and checks the grid shape, the serial vs
+// ring hit-count cross-check (an error return), and sane hit rates. The
+// speedup column is not asserted: at this size everything is in cache
+// and the interesting regime is the committed N=2^22 baseline.
+func TestBatchThroughputSmoke(t *testing.T) {
+	tb, err := BatchThroughput(BatchConfig{
+		LogN: 12, Q: 4000, B: 8, HitFrac: 0.5,
+		Layouts: []layout.Kind{layout.BST, layout.BTree},
+		Workers: []int{1, 2},
+		Trials:  1, Seed: 1,
+		Mmap: true, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tb.Rows), 2*2*2; got != want { // {heap,mmap} x layouts x workers
+		t.Fatalf("rows = %d, want %d", got, want)
+	}
+	modes := map[string]int{}
+	for _, r := range tb.Rows {
+		modes[r[0]]++
+		if !strings.Contains(r[0], "heap") && !strings.Contains(r[0], "mmap") {
+			t.Fatalf("unknown mode in row %v", r)
+		}
+		hit, err := strconv.ParseFloat(r[len(r)-1], 64)
+		if err != nil || hit < 30 || hit > 70 {
+			t.Fatalf("hit%% %s implausible for hitfrac 0.5: %v", r[len(r)-1], r)
+		}
+		if _, err := strconv.ParseFloat(r[5], 64); err != nil {
+			t.Fatalf("speedup column not numeric: %v", r)
+		}
+	}
+	if modes["heap"] != 4 || modes["mmap-cold"] != 4 {
+		t.Fatalf("mode split %v, want 4 heap + 4 mmap-cold", modes)
+	}
+}

@@ -25,6 +25,13 @@
 // table reports both as decode_ms and mmap_ms — the cold-start gap the
 // raw segment codec buys.
 //
+// With -batch it benchmarks the batched search path instead: the
+// interleaved ring kernels behind FindBatch/GetBatch against the
+// per-query serial descents they replaced, per layout x worker count.
+// Adding -mmap to -batch repeats the comparison against a segment file
+// remapped cold before every trial (use -dir for the scratch segments;
+// a temp directory otherwise).
+//
 // In all modes -json writes the table as machine-readable JSON
 // (BENCH_store.json-style) so CI can archive and trend the perf
 // trajectory.
@@ -36,6 +43,7 @@
 //	storebench -writes 0.2 -logn 20 -ops 1000000 -workers 1,4,8 -json BENCH_db.json
 //	storebench -writes 0.2 -logn 16 -ops 200000 -dir /tmp/sb -json BENCH_durable.json
 //	storebench -writes 0.2 -logn 22 -ops 200000 -dir /tmp/sb -mmap -json BENCH_mmap.json
+//	storebench -batch -logn 22 -q 1000000 -workers 1 -mmap -json BENCH_batch.json
 package main
 
 import (
@@ -74,20 +82,40 @@ func main() {
 	mmap := flag.Bool("mmap", false,
 		"durable mode: after the workload, reopen the directory both ways — "+
 			"full heap decode vs cold-serve mmap — and report decode_ms vs mmap_ms "+
-			"(requires -dir)")
+			"(requires -dir); with -batch, adds mmap-cold rows instead")
+	batch := flag.Bool("batch", false,
+		"batched-search mode: interleaved ring kernels vs per-query serial descents "+
+			"(uses -logn, -q, -b, -hitfrac, -workers, -layouts; -mmap adds cold-serve rows)")
 	flag.Parse()
 
 	if *writes < 0 || *writes > 1 {
 		fatalf("-writes %v outside [0, 1]", *writes)
 	}
-	if *dir != "" && *writes == 0 {
-		fatalf("-dir requires the mixed-workload mode (-writes > 0): the durable DB is the write path")
+	if *batch && *writes > 0 {
+		fatalf("-batch is a read-only mode; drop -writes")
 	}
-	if *mmap && *dir == "" {
-		fatalf("-mmap requires -dir: cold-serve mode maps segment files")
+	if !*batch {
+		if *dir != "" && *writes == 0 {
+			fatalf("-dir requires the mixed-workload mode (-writes > 0): the durable DB is the write path")
+		}
+		if *mmap && *dir == "" {
+			fatalf("-mmap requires -dir: cold-serve mode maps segment files")
+		}
 	}
 	var t *bench.Table
-	if *writes > 0 {
+	if *batch {
+		var err error
+		t, err = bench.BatchThroughput(bench.BatchConfig{
+			LogN: *logN, Q: *q, B: *b, HitFrac: *hitFrac,
+			Layouts: parseLayouts(*layouts),
+			Workers: parseInts(*workers),
+			Trials:  *trials, Seed: *seed,
+			Mmap: *mmap, Dir: *dir,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else if *writes > 0 {
 		t = bench.DBThroughput(bench.DBConfig{
 			LogN: *logN, Ops: *ops, WriteFrac: *writes,
 			MemLimit: *memLimit, Fanout: *fanout, B: *b,

@@ -3,7 +3,6 @@ package search
 import (
 	"cmp"
 	"fmt"
-	"sync"
 
 	"implicitlayout/layout"
 	"implicitlayout/perm"
@@ -95,46 +94,10 @@ func (ix *Index[T]) Contains(x T) bool { return ix.Find(x) >= 0 }
 // FindBatch answers all queries with p parallel workers (values below 1
 // fall back to serial) and returns the number of hits. Queries are
 // independent — the embarrassingly parallel workload of the paper's
-// evaluation, where each GPU thread owns one query.
+// evaluation, where each GPU thread owns one query. Each worker's chunk
+// dispatches to the layout's interleaved ring kernel above
+// InterleaveMinBatch queries (see FindBatchInto) and to one-at-a-time
+// descents below it.
 func (ix *Index[T]) FindBatch(queries []T, p int) (hits int) {
-	if p < 1 {
-		p = 1
-	}
-	if p == 1 || len(queries) < 2*p {
-		for _, q := range queries {
-			if ix.Find(q) >= 0 {
-				hits++
-			}
-		}
-		return hits
-	}
-	var wg sync.WaitGroup
-	partial := make([]int, p)
-	chunk := (len(queries) + p - 1) / p
-	for w := 0; w < p; w++ {
-		lo := w * chunk
-		if lo >= len(queries) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(queries) {
-			hi = len(queries)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			h := 0
-			for _, q := range queries[lo:hi] {
-				if ix.Find(q) >= 0 {
-					h++
-				}
-			}
-			partial[w] = h
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, h := range partial {
-		hits += h
-	}
-	return hits
+	return ix.findBatch(queries, nil, p)
 }

@@ -1,0 +1,163 @@
+package store_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"implicitlayout/layout"
+	"implicitlayout/store"
+)
+
+// TestGetBatchGroupedMatchesGet: the regrouped batch path (large chunks,
+// one interleaved ring per shard slice) returns exactly what per-query
+// Get returns, in query order, for every layout — and the stats books
+// balance: Queries == sum of shard queries + Unrouted.
+func TestGetBatchGroupedMatchesGet(t *testing.T) {
+	const n = 1 << 12
+	keys, vals := buildKV(n, 31)
+	rng := rand.New(rand.NewSource(13))
+	queries := make([]uint64, 4*n+3)
+	for i := range queries {
+		// Odd values hit, even miss inside the key range; 0 routes to no
+		// shard on stores whose smallest key exceeds it.
+		queries[i] = uint64(rng.Intn(2*n + 4))
+	}
+	for _, kind := range allKinds {
+		st, err := store.Build(keys, vals,
+			store.WithLayout(kind), store.WithShards(8), store.WithWorkers(4))
+		if err != nil {
+			t.Fatalf("%v: Build: %v", kind, err)
+		}
+		for _, p := range []int{1, 4} {
+			res := st.GetBatch(queries, p)
+			if res.Queries != len(queries) {
+				t.Fatalf("%v p=%d: Queries = %d, want %d", kind, p, res.Queries, len(queries))
+			}
+			hits := 0
+			for i, q := range queries {
+				wantVal, wantOK := st.Get(q)
+				if res.Found[i] != wantOK || res.Vals[i] != wantVal {
+					t.Fatalf("%v p=%d: query %d got (%q, %v), Get gives (%q, %v)",
+						kind, p, q, res.Vals[i], res.Found[i], wantVal, wantOK)
+				}
+				if wantOK {
+					hits++
+				}
+			}
+			if res.Hits != hits {
+				t.Fatalf("%v p=%d: Hits = %d, want %d", kind, p, res.Hits, hits)
+			}
+			routed, shardHits := 0, 0
+			for _, sh := range res.Shards {
+				routed += sh.Queries
+				shardHits += sh.Hits
+			}
+			if routed+res.Unrouted != res.Queries {
+				t.Fatalf("%v p=%d: %d routed + %d unrouted != %d queries",
+					kind, p, routed, res.Unrouted, res.Queries)
+			}
+			if shardHits != res.Hits {
+				t.Fatalf("%v p=%d: shard hits sum %d != Hits %d", kind, p, shardHits, res.Hits)
+			}
+		}
+	}
+}
+
+// TestGetBatchUnrouted: queries below every fence land in no shard; they
+// must be counted, not silently dropped, on both the query-by-query and
+// the regrouped path.
+func TestGetBatchUnrouted(t *testing.T) {
+	// Keys 101, 103, ... — everything below 101 routes nowhere.
+	keys := make([]uint64, 256)
+	vals := make([]string, len(keys))
+	for i := range keys {
+		keys[i] = uint64(101 + 2*i)
+		vals[i] = valOf(keys[i])
+	}
+	st, err := store.Build(keys, vals, store.WithLayout(layout.BTree), store.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := []uint64{1, 50, 101, 103, 100} // 3 unrouted, 2 hits; below batchGroupMin
+	large := make([]uint64, 0, 300)
+	wantUnrouted, wantHits := 0, 0
+	for i := 0; i < 300; i++ {
+		q := uint64(i)
+		large = append(large, q)
+		if q < 101 {
+			wantUnrouted++
+		} else if q%2 == 1 && q <= keys[len(keys)-1] {
+			wantHits++
+		}
+	}
+	if res := st.GetBatch(small, 1); res.Unrouted != 3 || res.Hits != 2 {
+		t.Fatalf("small batch: Unrouted = %d, Hits = %d; want 3, 2", res.Unrouted, res.Hits)
+	}
+	for _, p := range []int{1, 3} {
+		res := st.GetBatch(large, p)
+		if res.Unrouted != wantUnrouted || res.Hits != wantHits {
+			t.Fatalf("p=%d: Unrouted = %d, Hits = %d; want %d, %d",
+				p, res.Unrouted, res.Hits, wantUnrouted, wantHits)
+		}
+		routed := 0
+		for _, sh := range res.Shards {
+			routed += sh.Queries
+		}
+		if routed+res.Unrouted != res.Queries {
+			t.Fatalf("p=%d: %d routed + %d unrouted != %d queries", p, routed, res.Unrouted, res.Queries)
+		}
+	}
+}
+
+// TestDBGetBatch: batched DB lookups agree with Get across every tier a
+// version can live in — active memtable, frozen memtables, and a stack
+// of runs with overwrites and tombstones needing newest-first
+// resolution.
+func TestDBGetBatch(t *testing.T) {
+	db, err := store.NewDB[uint64, string](store.DBConfig{MemLimit: 64, Fanout: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const span = 1 << 10
+	rng := rand.New(rand.NewSource(17))
+	live := make(map[uint64]string)
+	for i := 0; i < 6*span; i++ {
+		k := uint64(rng.Intn(span))
+		if rng.Intn(4) == 0 {
+			db.Delete(k)
+			delete(live, k)
+		} else {
+			v := valOf(k + uint64(i)<<16)
+			db.Put(k, v)
+			live[k] = v
+		}
+		if i%1500 == 0 {
+			db.Flush() // push versions into runs mid-stream
+		}
+	}
+	queries := make([]uint64, 3*span)
+	for i := range queries {
+		queries[i] = uint64(rng.Intn(span + span/4)) // some never written
+	}
+	for _, p := range []int{1, 4} {
+		vals, found := db.GetBatch(queries, p)
+		if len(vals) != len(queries) || len(found) != len(queries) {
+			t.Fatalf("p=%d: result lengths %d/%d, want %d", p, len(vals), len(found), len(queries))
+		}
+		for i, q := range queries {
+			wantVal, wantOK := db.Get(q)
+			if found[i] != wantOK || vals[i] != wantVal {
+				t.Fatalf("p=%d: query %d got (%q, %v), Get gives (%q, %v)",
+					p, q, vals[i], found[i], wantVal, wantOK)
+			}
+			if mapVal, mapOK := live[q]; found[i] != mapOK || (mapOK && vals[i] != mapVal) {
+				t.Fatalf("p=%d: query %d got (%q, %v), model says (%q, %v)",
+					p, q, vals[i], found[i], mapVal, mapOK)
+			}
+		}
+	}
+	if vals, found := db.GetBatch(nil, 2); len(vals) != 0 || len(found) != 0 {
+		t.Fatal("empty batch returned non-empty results")
+	}
+}

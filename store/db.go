@@ -525,6 +525,71 @@ func (db *DB[K, V]) Contains(key K) bool {
 	return ok
 }
 
+// GetBatch answers many independent point lookups at once: vals[i] and
+// found[i] are what Get(keys[i]) would return. Keys the memtables decide
+// (the active one under a single read lock, then the frozen ones) drop
+// out first; the survivors walk the run stack newest to oldest, each run
+// answering the still-pending keys with one Store.GetBatch call — the
+// interleaved, shard-grouped ring kernels — and any version found, live
+// or tombstone, settles its key. p is the worker count per run (values
+// below 1 fall back to serial). The lookup sees the same point-in-time
+// state as Get: writes issued after GetBatch starts may be missed.
+func (db *DB[K, V]) GetBatch(keys []K, p int) (vals []V, found []bool) {
+	vals = make([]V, len(keys))
+	found = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, found
+	}
+	// pending holds the indices of keys no version has decided yet;
+	// every stage shrinks it in place.
+	pending := make([]int, 0, len(keys))
+	db.mu.RLock()
+	for i, k := range keys {
+		if mv, hit := db.active.get(k); hit {
+			vals[i], found[i] = liveValue(mv)
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	db.mu.RUnlock()
+	st := db.state.Load()
+	for _, m := range st.frozen {
+		if len(pending) == 0 {
+			return vals, found
+		}
+		keep := pending[:0]
+		for _, i := range pending {
+			if mv, hit := m.get(keys[i]); hit {
+				vals[i], found[i] = liveValue(mv)
+			} else {
+				keep = append(keep, i)
+			}
+		}
+		pending = keep
+	}
+	sub := make([]K, 0, len(pending))
+	for _, r := range st.runs {
+		if len(pending) == 0 {
+			break
+		}
+		sub = sub[:0]
+		for _, i := range pending {
+			sub = append(sub, keys[i])
+		}
+		br := r.st.GetBatch(sub, p)
+		keep := pending[:0]
+		for j, i := range pending {
+			if br.Found[j] {
+				vals[i], found[i] = liveValue(br.Vals[j])
+			} else {
+				keep = append(keep, i)
+			}
+		}
+		pending = keep
+	}
+	return vals, found
+}
+
 // Range calls yield for every live record with lo <= key <= hi in
 // ascending key order, stopping early if yield returns false. The
 // iteration k-way-merges a copy of the active memtable's interval, the

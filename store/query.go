@@ -1,6 +1,9 @@
 package store
 
-import "implicitlayout/internal/par"
+import (
+	"implicitlayout/internal/par"
+	"implicitlayout/search"
+)
 
 // Ref locates a record inside the store: the shard that holds it and the
 // record's position in that shard's layout array.
@@ -95,10 +98,14 @@ type ShardStats struct {
 	Queries, Hits int
 }
 
-// BatchStats aggregates one GetBatch call: total queries and hits plus
-// the per-shard breakdown (indexed by shard).
+// BatchStats aggregates one GetBatch call: total queries and hits, the
+// per-shard breakdown (indexed by shard), and the queries no fence
+// covered. Unrouted queries reach no shard, so they appear in no
+// ShardStats entry; counting them separately keeps the books balanced:
+// Queries == sum over Shards of Queries + Unrouted.
 type BatchStats struct {
 	Queries, Hits int
+	Unrouted      int
 	Shards        []ShardStats
 }
 
@@ -112,13 +119,30 @@ type BatchResult[V any] struct {
 	BatchStats
 }
 
-// getBatchSerial answers queries on one worker, writing the aligned
-// result slices and accumulating stats. vals, found, and queries have
-// equal length.
-func (s *Store[K, V]) getBatchSerial(queries []K, vals []V, found []bool, shards []ShardStats) (hits int) {
+// batchGroupMin is the per-worker chunk size from which GetBatch
+// regroups its queries by shard and answers each shard's slice with one
+// interleaved ring (see getBatchGrouped). Below it the regrouping
+// buffers cost more than the rings recover, and the query-by-query path
+// wins.
+const batchGroupMin = search.InterleaveMinBatch
+
+// getBatchChunk answers one worker's chunk, writing the aligned result
+// slices and accumulating stats: regrouped ring execution for chunks
+// worth the buffers, query-by-query routing below that.
+func (s *Store[K, V]) getBatchChunk(queries []K, vals []V, found []bool, shards []ShardStats) (hits, unrouted int) {
+	if len(queries) >= batchGroupMin && len(s.shards) > 0 {
+		return s.getBatchGrouped(queries, vals, found, shards)
+	}
+	return s.getBatchSerial(queries, vals, found, shards)
+}
+
+// getBatchSerial answers queries one at a time: route, descend, record.
+// vals, found, and queries have equal length.
+func (s *Store[K, V]) getBatchSerial(queries []K, vals []V, found []bool, shards []ShardStats) (hits, unrouted int) {
 	for qi, q := range queries {
 		sh := s.route(q)
 		if sh < 0 {
+			unrouted++
 			continue
 		}
 		shards[sh].Queries++
@@ -131,7 +155,64 @@ func (s *Store[K, V]) getBatchSerial(queries []K, vals []V, found []bool, shards
 		found[qi] = true
 		vals[qi] = s.valAt(Ref{Shard: sh, Pos: pos})
 	}
-	return hits
+	return hits, unrouted
+}
+
+// getBatchGrouped answers queries by shard instead of by arrival order:
+// route every query, bucket the routed ones per shard with a counting
+// sort, answer each shard's bucket with one FindBatchInto call — an
+// interleaved ring descending a single layout, instead of rings forced
+// to straddle shards — and scatter the positions back through the
+// bucket's index permutation. Results and stats are identical to
+// getBatchSerial; only the descent order changes.
+func (s *Store[K, V]) getBatchGrouped(queries []K, vals []V, found []bool, shards []ShardStats) (hits, unrouted int) {
+	ns := len(s.shards)
+	shardOf := make([]int, len(queries))
+	offs := make([]int, ns+1)
+	for qi, q := range queries {
+		sh := s.route(q)
+		shardOf[qi] = sh
+		if sh < 0 {
+			unrouted++
+			continue
+		}
+		offs[sh+1]++
+	}
+	for i := 0; i < ns; i++ {
+		offs[i+1] += offs[i]
+	}
+	routed := offs[ns]
+	gk := make([]K, routed)     // queries, grouped by shard
+	gidx := make([]int, routed) // original index of gk[i]
+	next := make([]int, ns)
+	copy(next, offs[:ns])
+	for qi, sh := range shardOf {
+		if sh < 0 {
+			continue
+		}
+		at := next[sh]
+		next[sh] = at + 1
+		gk[at] = queries[qi]
+		gidx[at] = qi
+	}
+	gpos := make([]int, routed)
+	for sh := 0; sh < ns; sh++ {
+		lo, hi := offs[sh], offs[sh+1]
+		if lo == hi {
+			continue
+		}
+		shHits := s.shards[sh].idx.FindBatchInto(gk[lo:hi], gpos[lo:hi], 1)
+		shards[sh].Queries += hi - lo
+		shards[sh].Hits += shHits
+		hits += shHits
+	}
+	for gi, qi := range gidx {
+		if pos := gpos[gi]; pos >= 0 {
+			found[qi] = true
+			vals[qi] = s.valAt(Ref{Shard: shardOf[qi], Pos: pos})
+		}
+	}
+	return hits, unrouted
 }
 
 // GetBatch answers all queries with p parallel workers (values below 1
@@ -156,27 +237,28 @@ func (s *Store[K, V]) GetBatch(queries []K, p int) BatchResult[V] {
 		p = 1
 	}
 	if p == 1 || len(queries) < 2*p {
-		res.Hits = s.getBatchSerial(queries, res.Vals, res.Found, res.Shards)
+		res.Hits, res.Unrouted = s.getBatchChunk(queries, res.Vals, res.Found, res.Shards)
 		return res
 	}
 	// Unlike the permutation loops, each iteration here is a full tree
 	// descent, so forking pays off well below par.DefaultMinFor.
 	r := par.Runner{Lo: 0, Hi: p, MinFor: 2 * p}
 	type partialStats struct {
-		hits   int
-		shards []ShardStats
+		hits, unrouted int
+		shards         []ShardStats
 	}
 	partial := make([]partialStats, p)
 	r.For(len(queries), func(w, lo, hi int) {
 		shards := make([]ShardStats, len(s.shards))
-		hits := s.getBatchSerial(queries[lo:hi], res.Vals[lo:hi], res.Found[lo:hi], shards)
-		partial[w] = partialStats{hits: hits, shards: shards}
+		hits, unrouted := s.getBatchChunk(queries[lo:hi], res.Vals[lo:hi], res.Found[lo:hi], shards)
+		partial[w] = partialStats{hits: hits, unrouted: unrouted, shards: shards}
 	})
 	for _, st := range partial {
 		if st.shards == nil {
 			continue // worker past the end of a short batch
 		}
 		res.Hits += st.hits
+		res.Unrouted += st.unrouted
 		for i, sh := range st.shards {
 			res.Shards[i].Queries += sh.Queries
 			res.Shards[i].Hits += sh.Hits
