@@ -7,6 +7,7 @@ import (
 
 	"runtime"
 
+	"implicitlayout/internal/mmapio"
 	"implicitlayout/internal/par"
 	"implicitlayout/internal/workload"
 	"implicitlayout/layout"
@@ -188,7 +189,10 @@ func BatchThroughput(c BatchConfig) (*Table, error) {
 				// Unmap the previous trial's mapping and collect the heap
 				// garbage the measurements left behind, outside the timed
 				// region: stale mappings and a mid-trial GC otherwise bleed
-				// one cell into the next on a single-CPU machine.
+				// one cell into the next on a single-CPU machine. Evicting
+				// the segment from the page cache is what makes the trial
+				// cold: without it a remap only rebuilds page tables and
+				// every "fault" is a minor fault against warm cache.
 				if st != nil {
 					st.Release()
 				}
@@ -197,6 +201,9 @@ func BatchThroughput(c BatchConfig) (*Table, error) {
 				st, err = store.OpenStore[uint64, uint64](path, store.WithMmap(true))
 				if err != nil {
 					panic(fmt.Sprintf("bench: %v: reopen mmap: %v", kind, err))
+				}
+				if err := mmapio.Evict(path); err != nil {
+					panic(fmt.Sprintf("bench: %v: evict page cache: %v", kind, err))
 				}
 			}
 			var serialHits, ringHits int

@@ -92,7 +92,7 @@ func BreakEven(cfg BreakEvenConfig) BreakEvenResult {
 		q := float64(int(1) << uint(lq))
 		row := []string{fmt.Sprintf("2^%d", lq)}
 		row = append(row, fmt.Sprintf("%.4g", q*rate[layout.Sorted]))
-		for _, k := range layout.Kinds() {
+		for _, k := range paperKinds() {
 			row = append(row, fmt.Sprintf("%.4g", permTime[k].Seconds()+q*rate[k]))
 		}
 		combined.AddRow(row...)
@@ -103,7 +103,7 @@ func BreakEven(cfg BreakEvenConfig) BreakEvenResult {
 		Note:   "Q* = permute / (binary_rate - layout_rate); paper: <= 12% of N sequential, <= 6% parallel",
 		Header: []string{"layout", "permute[s]", "ns/query", "binary ns/query", "Q*", "Q*/N"},
 	}
-	for _, k := range layout.Kinds() {
+	for _, k := range paperKinds() {
 		var qstar string
 		var frac string
 		if rate[k] < rate[layout.Sorted] {

@@ -1,0 +1,16 @@
+//go:build linux
+
+package bench
+
+import "syscall"
+
+// majorFaults returns the process's cumulative major page fault count —
+// faults that required device I/O, which after an mmapio.Evict is every
+// first touch of a mapped page.
+func majorFaults() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Majflt
+}

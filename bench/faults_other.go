@@ -1,0 +1,7 @@
+//go:build !linux
+
+package bench
+
+// majorFaults reports 0 without getrusage: the majflt/op column is
+// informative only on platforms that can both evict and count.
+func majorFaults() int64 { return 0 }

@@ -112,7 +112,7 @@ func GPUBreakEven(cfg GPUConfig) BreakEvenResult {
 		q := float64(int(1) << uint(lq))
 		row := []string{fmt.Sprintf("2^%d", lq)}
 		row = append(row, fmt.Sprintf("%.2f", q*rateMS[layout.Sorted]))
-		for _, k := range layout.Kinds() {
+		for _, k := range paperKinds() {
 			row = append(row, fmt.Sprintf("%.2f", permMS[k]+q*rateMS[k]))
 		}
 		combined.AddRow(row...)
@@ -123,7 +123,7 @@ func GPUBreakEven(cfg GPUConfig) BreakEvenResult {
 		Note:   "paper: BST >= 12.7% of N, B-tree >= 5.6% of N",
 		Header: []string{"layout", "permute[ms]", "us/query", "binary us/query", "Q*", "Q*/N"},
 	}
-	for _, k := range layout.Kinds() {
+	for _, k := range paperKinds() {
 		var qstar, frac string
 		if rateMS[k] < rateMS[layout.Sorted] {
 			q := permMS[k] / (rateMS[layout.Sorted] - rateMS[k])

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"implicitlayout/internal/mmapio"
+	"implicitlayout/internal/workload"
+	"implicitlayout/layout"
+	"implicitlayout/store"
+)
+
+// ColdConfig parameterizes the cold-cache point-lookup experiment.
+type ColdConfig struct {
+	// LogN is the key count exponent (2^LogN keys).
+	LogN int
+	// Lookups is the number of cold lookups averaged per cell.
+	Lookups int
+	// B is the B-tree node capacity (inner block capacity for hier).
+	B int
+	// HitFrac is the expected fraction of present-key lookups.
+	HitFrac float64
+	// Layouts spans the compared layouts.
+	Layouts []layout.Kind
+	// Seed drives the query generator.
+	Seed int64
+	// Dir is the scratch directory for segment files; empty means a
+	// fresh temp directory, removed afterwards.
+	Dir string
+}
+
+// ColdLookup measures what a single point lookup costs when nothing is
+// resident: per trial the segment is remapped AND evicted from the OS
+// page cache, so every page the descent touches is a major fault served
+// by the device. This is the regime the hier layout exists for — a
+// lookup descends ceil(log_{P+1} N) page-sized super-blocks instead of
+// ceil(log_{b+1} N) scattered cache lines, so it touches ~3 pages where
+// the B-tree touches ~7 and the vEB order more still — and the
+// majflt/op column reports the measured fault count per lookup
+// (process-wide major faults, so it includes the value page on hits).
+// The heap_us column times the same lookups on a heap-decoded store
+// (cache-resident after warmup), where the B-tree's lower arithmetic
+// cost wins instead: the crossover is what ARCHITECTURE.md's layout
+// decision rule is based on. Shards are fixed at 1 so each lookup is
+// one full-depth descent.
+func ColdLookup(c ColdConfig) (*Table, error) {
+	n := 1 << c.LogN
+	sorted := workload.Sorted(n)
+	// One extra query: the first cold lookup is discarded as warmup
+	// (first-call effects: lazily built routing state, code paging).
+	queries := workload.Queries(c.Lookups+1, n, c.HitFrac, c.Seed)
+	t := &Table{
+		Title: fmt.Sprintf("hier: fully cold point lookups, N=2^%d, %d lookups/cell", c.LogN, c.Lookups),
+		Note: fmt.Sprintf("cold = segment remapped and page-cache-evicted before every lookup "+
+			"(every touched page is a major fault); heap = same lookups on a resident heap decode; "+
+			"hitfrac=%.2f b=%d shards=1", c.HitFrac, c.B),
+		Header: []string{"layout", "heap_us/op", "cold_us/op", "majflt/op", "hit%"},
+	}
+	dir := c.Dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "coldbench")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	vals := make([]uint64, n)
+	for i, k := range sorted {
+		vals[i] = k ^ storeValMagic
+	}
+	for _, kind := range c.Layouts {
+		built, err := store.Build(sorted, vals,
+			store.WithLayout(kind), store.WithShards(1), store.WithB(c.B))
+		if err != nil {
+			return nil, fmt.Errorf("bench: %v: build: %w", kind, err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("cold_%s.seg", kind))
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := built.WriteTo(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("bench: %v: write segment: %w", kind, err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+
+		// Heap baseline: the whole query set in one resident timed loop.
+		heap, err := store.OpenStore[uint64, uint64](path)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %v: reopen heap: %w", kind, err)
+		}
+		hits := 0
+		hd := timeIt(3, func() { hits = 0 }, func() {
+			for _, q := range queries[1:] {
+				if v, ok := heap.Get(q); ok {
+					if v != q^storeValMagic {
+						panic(fmt.Sprintf("bench: %v: Get(%d) returned wrong value", kind, q))
+					}
+					hits++
+				}
+			}
+		})
+		heapUS := hd.Seconds() * 1e6 / float64(c.Lookups)
+
+		// Cold lookups: remap + evict before every single Get, and count
+		// the major faults the Get itself incurs.
+		var st *store.Store[uint64, uint64]
+		remap := func() error {
+			if st != nil {
+				st.Release()
+			}
+			runtime.GC()
+			st, err = store.OpenStore[uint64, uint64](path, store.WithMmap(true))
+			if err != nil {
+				return fmt.Errorf("bench: %v: reopen mmap: %w", kind, err)
+			}
+			// Evict after the open, not before: the open's header and
+			// fence reads trigger readahead that would re-warm the cache.
+			// DONTNEED skips the handful of pages the open already
+			// faulted through the mapping — warm router, cold tree.
+			if err := mmapio.Evict(path); err != nil {
+				return fmt.Errorf("bench: %v: evict page cache: %w", kind, err)
+			}
+			return nil
+		}
+		var total time.Duration
+		var faults int64
+		coldHits := 0
+		for i, q := range queries {
+			if err := remap(); err != nil {
+				return nil, err
+			}
+			f0 := majorFaults()
+			t0 := time.Now()
+			v, ok := st.Get(q)
+			dt := time.Since(t0)
+			f1 := majorFaults()
+			if ok && v != q^storeValMagic {
+				return nil, fmt.Errorf("bench: %v: cold Get(%d) returned wrong value", kind, q)
+			}
+			if i == 0 {
+				continue // warmup lookup: first-call effects
+			}
+			total += dt
+			faults += f1 - f0
+			if ok {
+				coldHits++
+			}
+		}
+		st.Release()
+		if coldHits != hits {
+			return nil, fmt.Errorf("bench: %v: cold hits %d != heap hits %d", kind, coldHits, hits)
+		}
+		t.AddRow(kind.String(),
+			fmt.Sprintf("%.2f", heapUS),
+			fmt.Sprintf("%.2f", total.Seconds()*1e6/float64(c.Lookups)),
+			fmt.Sprintf("%.2f", float64(faults)/float64(c.Lookups)),
+			fmt.Sprintf("%.1f", 100*float64(coldHits)/float64(c.Lookups)))
+	}
+	return t, nil
+}

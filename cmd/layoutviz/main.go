@@ -19,7 +19,8 @@ import (
 func main() {
 	n := flag.Int("n", 15, "tree size for the BST/vEB figures")
 	nb := flag.Int("nb", 26, "tree size for the B-tree figure")
-	b := flag.Int("b", 2, "B-tree node capacity")
+	nh := flag.Int("nh", 200, "tree size for the hier figure (pages hold 64·b keys)")
+	b := flag.Int("b", 2, "B-tree node capacity (and hier inner block capacity)")
 	gatherDemo := flag.Bool("gather", false, "show the equidistant gather rounds (fig 3.1)")
 	r := flag.Int("r", 3, "gather shape r = l for -gather")
 	flag.Parse()
@@ -27,6 +28,7 @@ func main() {
 	show(layout.BST, *n, 0)
 	show(layout.BTree, *nb, *b)
 	show(layout.VEB, *n, 0)
+	show(layout.Hier, *nh, *b)
 	if *gatherDemo {
 		showGather(*r)
 	}
@@ -71,6 +73,20 @@ func show(k layout.Kind, n, b int) {
 			}
 			fmt.Printf("  level %d: %s\n", level, strings.Join(cells, " "))
 			width *= b + 1
+		}
+	case layout.Hier:
+		// One line per page-sized super-block (in outer level order):
+		// the sorted key range it owns and its inner root node — the
+		// two-level structure without printing every inner node.
+		p := layout.HierPageKeys(b)
+		for m := 0; m*p < n; m++ {
+			page := arr[m*p : min(m*p+p, n)]
+			lo, hi := page[0], page[0]
+			for _, x := range page {
+				lo, hi = min(lo, x), max(hi, x)
+			}
+			fmt.Printf("  page %d (pos %d..%d): keys %d..%d, inner root [%s]\n",
+				m, m*p, m*p+len(page)-1, lo, hi, join(page[:min(b, len(page))]))
 		}
 	}
 	fmt.Println()

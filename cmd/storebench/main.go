@@ -86,15 +86,23 @@ func main() {
 	batch := flag.Bool("batch", false,
 		"batched-search mode: interleaved ring kernels vs per-query serial descents "+
 			"(uses -logn, -q, -b, -hitfrac, -workers, -layouts; -mmap adds cold-serve rows)")
+	cold := flag.Bool("cold", false,
+		"cold point-lookup mode: per-lookup cost with the segment remapped and "+
+			"page-cache-evicted before every single Get, vs the same lookups on a "+
+			"resident heap decode (uses -logn, -q as the lookup count, -b, -hitfrac, "+
+			"-layouts, -dir, -seed)")
 	flag.Parse()
 
 	if *writes < 0 || *writes > 1 {
 		fatalf("-writes %v outside [0, 1]", *writes)
 	}
-	if *batch && *writes > 0 {
-		fatalf("-batch is a read-only mode; drop -writes")
+	if (*batch || *cold) && *writes > 0 {
+		fatalf("-batch and -cold are read-only modes; drop -writes")
 	}
-	if !*batch {
+	if *batch && *cold {
+		fatalf("-batch and -cold are mutually exclusive")
+	}
+	if !*batch && !*cold {
 		if *dir != "" && *writes == 0 {
 			fatalf("-dir requires the mixed-workload mode (-writes > 0): the durable DB is the write path")
 		}
@@ -103,7 +111,17 @@ func main() {
 		}
 	}
 	var t *bench.Table
-	if *batch {
+	if *cold {
+		var err error
+		t, err = bench.ColdLookup(bench.ColdConfig{
+			LogN: *logN, Lookups: *q, B: *b, HitFrac: *hitFrac,
+			Layouts: parseLayouts(*layouts),
+			Seed:    *seed, Dir: *dir,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else if *batch {
 		var err error
 		t, err = bench.BatchThroughput(bench.BatchConfig{
 			LogN: *logN, Q: *q, B: *b, HitFrac: *hitFrac,
@@ -181,10 +199,12 @@ func parseLayouts(s string) []layout.Kind {
 			out = append(out, layout.BTree)
 		case "veb":
 			out = append(out, layout.VEB)
+		case "hier":
+			out = append(out, layout.Hier)
 		case "sorted":
 			out = append(out, layout.Sorted)
 		default:
-			fatalf("unknown layout %q (want bst, btree, veb, or sorted)", f)
+			fatalf("unknown layout %q (want bst, btree, veb, hier, or sorted)", f)
 		}
 	}
 	return out

@@ -43,7 +43,7 @@ func main() {
 		}
 		checked++
 	}
-	fmt.Printf("verified %d sizes x 3 layouts x 2 algorithms (+ variants, queries, inverses): all correct\n", checked)
+	fmt.Printf("verified %d sizes x %d layouts x 2 algorithms (+ variants, queries, inverses): all correct\n", checked, len(layout.Kinds()))
 }
 
 func sorted(n int) []uint64 {

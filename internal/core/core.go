@@ -78,6 +78,8 @@ func Permute[T any, V vec.Vec[T]](o Options, v V, k layout.Kind, a Algorithm) {
 		InvolutionVEB[T](o, v)
 	case k == layout.VEB && a == CycleLeader:
 		CycleVEB[T](o, v)
+	case k == layout.Hier && (a == Involution || a == CycleLeader):
+		PermuteHier[T](o, v, a)
 	default:
 		panic("core: unknown layout/algorithm combination")
 	}

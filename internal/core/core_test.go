@@ -57,6 +57,19 @@ func allAlgos() []algo {
 			}},
 		)
 	}
+	for _, b := range []int{1, 2, 4} {
+		b := b
+		as = append(as,
+			algo{"involution-hier/B=" + itoa(b), layout.Hier, b, func(o Options, v vec.Slice[int]) {
+				o.B = b
+				PermuteHier[int](o, v, Involution)
+			}},
+			algo{"cycle-hier/B=" + itoa(b), layout.Hier, b, func(o Options, v vec.Slice[int]) {
+				o.B = b
+				PermuteHier[int](o, v, CycleLeader)
+			}},
+		)
+	}
 	return as
 }
 
@@ -140,7 +153,7 @@ func TestPermuteDispatch(t *testing.T) {
 			got := seq(n)
 			Permute[int](Options{Runner: par.New(2), B: 4}, vec.Of(got), k, a)
 			bb := 0
-			if k == layout.BTree {
+			if k == layout.BTree || k == layout.Hier {
 				bb = 4
 			}
 			if !reflect.DeepEqual(got, want(k, n, bb)) {
@@ -191,6 +204,28 @@ func TestInvertInvolutionBTree(t *testing.T) {
 			InvertInvolutionBTree[int](o, vec.Of(a))
 			if !reflect.DeepEqual(a, seq(n)) {
 				t.Fatalf("B=%d n=%d: round trip failed", b, n)
+			}
+		}
+	}
+}
+
+// TestInvertHier round-trips the hierarchical layout for all small n and
+// several cacheline capacities, built by either algorithm family, serial
+// and parallel.
+func TestInvertHier(t *testing.T) {
+	runners := []par.Runner{par.New(1), {Lo: 0, Hi: 3, MinFor: 1}}
+	for _, b := range []int{1, 2, 4} {
+		for _, a := range Algorithms() {
+			for _, rn := range runners {
+				o := Options{Runner: rn, B: b}
+				for n := 0; n <= 300; n++ {
+					arr := seq(n)
+					PermuteHier[int](o, vec.Of(arr), a)
+					InvertHier[int](o, vec.Of(arr))
+					if !reflect.DeepEqual(arr, seq(n)) {
+						t.Fatalf("B=%d %v P=%d n=%d: round trip failed", b, a, rn.P(), n)
+					}
+				}
 			}
 		}
 	}

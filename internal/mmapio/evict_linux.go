@@ -1,0 +1,33 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"os"
+	"syscall"
+)
+
+// posix_fadvise advice value; the syscall package exports the syscall
+// number but not the POSIX advice constants.
+const fadvDontNeed = 4 // POSIX_FADV_DONTNEED
+
+// Evict asks the OS to drop every cached page of path from the page
+// cache, so the next reads — including faults through a fresh mapping —
+// hit the device. Dirty pages are not droppable, so the file is synced
+// first. Best-effort like Advise: benchmarks use it to measure truly
+// cold serving, and a failure only means the cache stayed warm.
+func Evict(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	_, _, errno := syscall.Syscall6(syscall.SYS_FADVISE64, f.Fd(), 0, 0, fadvDontNeed, 0, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

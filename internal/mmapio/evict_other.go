@@ -1,0 +1,7 @@
+//go:build !linux
+
+package mmapio
+
+// Evict is a no-op without posix_fadvise: the page cache stays warm and
+// cold-serve benchmarks measure the warm path instead.
+func Evict(path string) error { return nil }

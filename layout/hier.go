@@ -1,0 +1,126 @@
+package layout
+
+// The hierarchical (FAST-style) layout is the two-level blocking scheme
+// of Lindstrom–Rajan ("Optimal Hierarchical Layouts for Cache-Oblivious
+// Search Trees") and Alstrup et al. ("Efficient Tree Layout in a
+// Multilevel Memory Hierarchy"), specialized to the two miss units the
+// mmap serving path actually has: the key array is partitioned into
+// page-sized super-blocks, and each super-block is internally laid out
+// as cacheline-sized B-tree blocks.
+//
+// Structurally the layout is a composition of two B-tree layouts:
+//
+//   - The outer tree is the level-order B-tree layout with node capacity
+//     P = HierPageKeys(b): page m owns the contiguous array positions
+//     [m*P, m*P+P) — one page block — and has P+1 children. A cold
+//     lookup therefore touches O(log_{P+1} N) pages, the page-cache
+//     optimum, where the flat B-tree touches O(log_{b+1} N) pages.
+//   - Within a page, the block's P keys (ascending in the outer layout)
+//     are rearranged into the level-order B-tree layout with capacity b,
+//     so resolving one page costs O(log_{b+1} P) cache lines instead of
+//     a 4 KiB scan.
+//
+// Because both levels are plain B-tree layouts over contiguous windows,
+// the position function is a two-step composition of BTreePos, the
+// in-place construction is two passes of the existing B-tree permutation
+// kernels (see internal/core), and the inverse is the same composition
+// read backwards. Both trees are complete, so every array length is
+// supported: the last page block and the last cacheline block of any
+// page may be partial.
+
+// HierPageNodes is the number of cacheline-sized B-tree nodes per page
+// block of the hierarchical layout: 64 nodes of b keys each, so with the
+// default b = 8 (8-byte keys, 64-byte lines) a page block holds 512 keys
+// = 4 KiB — exactly one OS page.
+const HierPageNodes = 64
+
+// HierPageKeys returns the keys per page block of the hierarchical
+// layout with cacheline node capacity b.
+func HierPageKeys(b int) int {
+	if b < 1 {
+		panic("layout: hierarchical layouts require b >= 1")
+	}
+	return HierPageNodes * b
+}
+
+// HierPos returns the hierarchical-layout position of in-order rank
+// `rank` in a complete tree of n keys with cacheline node capacity b:
+// the outer page-granular B-tree locates the page block and the in-page
+// rank, the inner cacheline B-tree places it within the block. O(log n).
+func HierPos(rank, n, b int) int {
+	p := HierPageKeys(b)
+	outer := BTreePos(rank, n, p)
+	pageStart := outer - outer%p
+	pk := min(p, n-pageStart)
+	return pageStart + BTreePos(outer-pageStart, pk, b)
+}
+
+// HierRank is the inverse of HierPos: the in-order rank of the key at
+// array position pos. Together they are the forward and inverse halves
+// of the layout's permutation — HierRank(HierPos(r, n, b), n, b) == r
+// for every rank r.
+func HierRank(pos, n, b int) int {
+	if pos < 0 || pos >= n {
+		panic("layout: HierRank position out of range")
+	}
+	p := HierPageKeys(b)
+	pageStart := pos - pos%p
+	pk := min(p, n-pageStart)
+	return BTreeRank(pageStart+BTreeRank(pos-pageStart, pk, b), n, p)
+}
+
+// BTreeRank is the inverse of BTreePos: the in-order rank of the key at
+// position pos of the level-order B-tree layout of a complete tree with
+// n keys and b keys per node. It recovers the root-to-node path from the
+// BFS numbering, then replays the descent summing the subtree sizes the
+// path passes. O(log² n) index arithmetic, no rank table.
+func BTreeRank(pos, n, b int) int {
+	if pos < 0 || pos >= n {
+		panic("layout: BTreeRank position out of range")
+	}
+	m, slot := BTreeNode(pos, b), pos%b
+	// Child indices along the path from the root to node m, leaf-first.
+	var path [64]int
+	depth := 0
+	for q := m; q > 0; depth++ {
+		parent := (q - 1) / (b + 1)
+		path[depth] = q - 1 - parent*(b+1)
+		q = parent
+	}
+	rank := 0
+	node := 0
+	for d := depth - 1; d >= 0; d-- {
+		c := path[d]
+		// Entering child c skips the c keys before it and the subtrees of
+		// children 0..c-1.
+		rank += c
+		for t := 0; t < c; t++ {
+			rank += BTreeSubtreeSize(BTreeChild(node, t, b), n, b)
+		}
+		node = BTreeChild(node, c, b)
+	}
+	rank += slot
+	for t := 0; t <= slot; t++ {
+		rank += BTreeSubtreeSize(BTreeChild(node, t, b), n, b)
+	}
+	return rank
+}
+
+// hierRanks computes the in-order rank stored at every position of the
+// hierarchical layout: the outer page-granular B-tree rank table, with
+// each page block's positions routed through the inner cacheline B-tree
+// rank table. It is the reference oracle HierPos and the in-place
+// permutation are tested against.
+func hierRanks(n, b int) []int {
+	p := HierPageKeys(b)
+	outer := btreeRanks(n, p)
+	ranks := make([]int, n)
+	for pageStart := 0; pageStart < n; pageStart += p {
+		pk := min(p, n-pageStart)
+		inner := btreeRanks(pk, b)
+		for q, t := range inner {
+			ranks[pageStart+q] = outer[pageStart+t]
+		}
+	}
+	return ranks
+}

@@ -1,0 +1,155 @@
+package layout
+
+import (
+	"slices"
+	"testing"
+)
+
+// hierSizes spans the boundary shapes the two-level blocking produces:
+// n=1, below one cacheline block, exactly/around one block, below one
+// page block, exactly/around one page, partial trailing blocks at both
+// levels, and several full pages plus a partial one.
+func hierSizes(b int) []int {
+	p := HierPageKeys(b)
+	sizes := []int{1, 2, b - 1, b, b + 1, 2*b + 1, p - 1, p, p + 1,
+		2*p - 1, 2 * p, 3*p + b + 1, 5*p + 2}
+	var out []int
+	for _, n := range sizes {
+		if n >= 1 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TestHierRanksAreAPermutation: the reference rank table is a bijection
+// on [0, n) for every boundary size.
+func TestHierRanksAreAPermutation(t *testing.T) {
+	for _, b := range []int{1, 2, 8} {
+		for _, n := range hierSizes(b) {
+			ranks := Ranks(Hier, n, b)
+			seen := make([]bool, n)
+			for pos, r := range ranks {
+				if r < 0 || r >= n || seen[r] {
+					t.Fatalf("b=%d n=%d: rank %d at pos %d repeats or overflows", b, n, r, pos)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+// TestHierPosMatchesRanks: the closed-form position function agrees with
+// the reference in-order walk for every rank.
+func TestHierPosMatchesRanks(t *testing.T) {
+	for _, b := range []int{1, 2, 3, 8} {
+		for _, n := range hierSizes(b) {
+			ranks := Ranks(Hier, n, b)
+			for pos, r := range ranks {
+				if got := HierPos(r, n, b); got != pos {
+					t.Fatalf("b=%d n=%d: HierPos(%d) = %d, want %d", b, n, r, got, pos)
+				}
+			}
+		}
+	}
+}
+
+// TestHierPosRankRoundTrip: HierRank inverts HierPos for all ranks, and
+// HierPos inverts HierRank for all positions.
+func TestHierPosRankRoundTrip(t *testing.T) {
+	for _, b := range []int{1, 2, 8} {
+		for _, n := range hierSizes(b) {
+			for r := 0; r < n; r++ {
+				pos := HierPos(r, n, b)
+				if got := HierRank(pos, n, b); got != r {
+					t.Fatalf("b=%d n=%d: HierRank(HierPos(%d)) = %d", b, n, r, got)
+				}
+			}
+			for pos := 0; pos < n; pos++ {
+				r := HierRank(pos, n, b)
+				if got := HierPos(r, n, b); got != pos {
+					t.Fatalf("b=%d n=%d: HierPos(HierRank(%d)) = %d", b, n, pos, got)
+				}
+			}
+		}
+	}
+}
+
+// TestBTreeRankInvertsBTreePos: the new closed-form B-tree inverse
+// agrees with the rank table the layout has always defined.
+func TestBTreeRankInvertsBTreePos(t *testing.T) {
+	for _, b := range []int{1, 2, 3, 8, 512} {
+		for _, n := range []int{1, 2, 7, 8, 9, 63, 64, 65, 512, 513, 1000} {
+			ranks := Ranks(BTree, n, b)
+			for pos, r := range ranks {
+				if got := BTreeRank(pos, n, b); got != r {
+					t.Fatalf("b=%d n=%d: BTreeRank(%d) = %d, want %d", b, n, pos, got, r)
+				}
+			}
+		}
+	}
+}
+
+// TestHierBuildIsSearchable: Build places the sorted keys so that the
+// in-order walk through HierPos recovers them ascending — the property
+// every query kernel relies on.
+func TestHierBuildIsSearchable(t *testing.T) {
+	b := 8
+	n := 3*HierPageKeys(b) + 37
+	sorted := make([]int, n)
+	for i := range sorted {
+		sorted[i] = 10 * i
+	}
+	arr := Build(Hier, sorted, b)
+	got := make([]int, n)
+	for r := 0; r < n; r++ {
+		got[r] = arr[HierPos(r, n, b)]
+	}
+	if !slices.Equal(got, sorted) {
+		t.Fatal("in-order walk of the hier layout is not sorted")
+	}
+}
+
+// TestHierPageBlocksAreContiguous: every page block is a contiguous
+// window of the array whose keys are exactly the outer B-tree node's
+// keys — the property that makes a page block one page-cache unit.
+func TestHierPageBlocksAreContiguous(t *testing.T) {
+	b := 4
+	p := HierPageKeys(b)
+	n := 2*p + 17
+	ranks := Ranks(Hier, n, b)
+	outer := Ranks(BTree, n, p)
+	for pageStart := 0; pageStart < n; pageStart += p {
+		pk := min(p, n-pageStart)
+		want := append([]int(nil), outer[pageStart:pageStart+pk]...)
+		got := append([]int(nil), ranks[pageStart:pageStart+pk]...)
+		slices.Sort(want)
+		slices.Sort(got)
+		if !slices.Equal(got, want) {
+			t.Fatalf("page at %d holds ranks %v, want %v", pageStart, got, want)
+		}
+	}
+}
+
+// FuzzHierLayout cross-checks the closed-form position function and its
+// inverse against the reference in-order walk over fuzzer-chosen sizes
+// and node capacities.
+func FuzzHierLayout(f *testing.F) {
+	f.Add(uint16(1), uint8(1))
+	f.Add(uint16(513), uint8(8))
+	f.Add(uint16(4096), uint8(3))
+	f.Add(uint16(65535), uint8(16))
+	f.Fuzz(func(t *testing.T, nRaw uint16, bRaw uint8) {
+		n := int(nRaw)%4096 + 1
+		b := int(bRaw)%16 + 1
+		ranks := Ranks(Hier, n, b)
+		for pos, r := range ranks {
+			if got := HierPos(r, n, b); got != pos {
+				t.Fatalf("n=%d b=%d: HierPos(%d) = %d, want %d", n, b, r, got, pos)
+			}
+			if got := HierRank(pos, n, b); got != r {
+				t.Fatalf("n=%d b=%d: HierRank(%d) = %d, want %d", n, b, pos, got, r)
+			}
+		}
+	})
+}

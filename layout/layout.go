@@ -1,8 +1,10 @@
-// Package layout defines the three implicit search-tree memory layouts
-// studied in the paper — the level-order binary search tree (BST), the
-// level-order B-tree, and the van Emde Boas (vEB) layout — together with
-// the index arithmetic needed to navigate them and reference (out-of-place)
-// constructors that serve as correctness oracles for the in-place parallel
+// Package layout defines the implicit search-tree memory layouts:
+// the three studied in the paper — the level-order binary search tree
+// (BST), the level-order B-tree, and the van Emde Boas (vEB) layout —
+// plus the page-aware two-level hierarchical layout (Hier, hier.go)
+// built for mmap-backed serving, together with the index arithmetic
+// needed to navigate them and reference (out-of-place) constructors
+// that serve as correctness oracles for the in-place parallel
 // permutation algorithms in package perm.
 //
 // All trees are *complete*: every level except possibly the last is full
@@ -36,6 +38,11 @@ const (
 	VEB
 	// Sorted is the identity layout (plain sorted array, binary search).
 	Sorted
+	// Hier is the two-level hierarchical (FAST-style) layout: page-sized
+	// super-blocks arranged as an outer B-tree, each internally laid out
+	// as cacheline-sized B-tree blocks — see hier.go. b is the cacheline
+	// node capacity; the page capacity is HierPageKeys(b).
+	Hier
 )
 
 // String returns the conventional name of the layout.
@@ -49,12 +56,15 @@ func (k Kind) String() string {
 		return "veb"
 	case Sorted:
 		return "sorted"
+	case Hier:
+		return "hier"
 	}
 	return fmt.Sprintf("layout.Kind(%d)", int(k))
 }
 
-// Kinds lists the three tree layouts (excluding Sorted).
-func Kinds() []Kind { return []Kind{BST, BTree, VEB} }
+// Kinds lists the four tree layouts (excluding Sorted): the paper's
+// three plus the hierarchical two-level layout of hier.go.
+func Kinds() []Kind { return []Kind{BST, BTree, VEB, Hier} }
 
 // Ranks returns the rank table of the layout: r[pos] is the in-order rank
 // (0-based position in sorted order) of the key stored at array position
@@ -69,6 +79,8 @@ func Ranks(k Kind, n, b int) []int {
 		return btreeRanks(n, b)
 	case VEB:
 		return vebRanks(n)
+	case Hier:
+		return hierRanks(n, b)
 	case Sorted:
 		r := make([]int, n)
 		for i := range r {

@@ -66,7 +66,7 @@ func TestRanksArePermutations(t *testing.T) {
 }
 
 func btreeBs(k Kind) []int {
-	if k == BTree {
+	if k == BTree || k == Hier {
 		return []int{1, 2, 3, 4, 8}
 	}
 	return []int{0}

@@ -18,6 +18,8 @@ func PosOf(k Kind, rank, n, b int) int {
 		return BTreePos(rank, n, b)
 	case VEB:
 		return VEBPos(rank, n)
+	case Hier:
+		return HierPos(rank, n, b)
 	}
 	panic("layout: unknown kind")
 }
@@ -35,7 +37,7 @@ func BTreePos(rank, n, b int) int {
 		// walk this node's keys and child subtrees in order.
 		cur := lo
 		for t := 0; t < keys; t++ {
-			cs := btreeSubtreeSize(BTreeChild(node, t, b), n, b)
+			cs := BTreeSubtreeSize(BTreeChild(node, t, b), n, b)
 			if rank < cur+cs {
 				node = BTreeChild(node, t, b)
 				lo, hi = cur, cur+cs
@@ -55,11 +57,11 @@ func BTreePos(rank, n, b int) int {
 	}
 }
 
-// btreeSubtreeSize returns the number of keys stored in the subtree rooted
+// BTreeSubtreeSize returns the number of keys stored in the subtree rooted
 // at the given node of a complete B-tree with n keys, in O(log n) time:
 // per level, the subtree owns a contiguous node interval whose key count
 // follows from the BFS numbering.
-func btreeSubtreeSize(node int, n, b int) int {
+func BTreeSubtreeSize(node int, n, b int) int {
 	total := 0
 	first, count := node, 1
 	for first*b < n {

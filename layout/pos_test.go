@@ -22,7 +22,7 @@ func TestPosOfInvertsRanks(t *testing.T) {
 func TestBTreeSubtreeSizes(t *testing.T) {
 	for _, b := range []int{1, 2, 4} {
 		for n := 1; n <= 300; n++ {
-			if got := btreeSubtreeSize(0, n, b); got != n {
+			if got := BTreeSubtreeSize(0, n, b); got != n {
 				t.Fatalf("b=%d n=%d: root subtree size %d", b, n, got)
 			}
 		}

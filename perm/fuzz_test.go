@@ -19,7 +19,7 @@ func FuzzPermuteMatchesOracle(f *testing.F) {
 	f.Add(uint16(511), uint8(0), uint8(1), uint8(7), uint8(4))
 	f.Fuzz(func(t *testing.T, nRaw uint16, kindRaw, algoRaw, bRaw, pRaw uint8) {
 		n := int(nRaw) % 3000
-		kind := layout.Kinds()[int(kindRaw)%3]
+		kind := layout.Kinds()[int(kindRaw)%len(layout.Kinds())]
 		algo := Algorithms()[int(algoRaw)%2]
 		b := int(bRaw)%16 + 1
 		p := int(pRaw)%4 + 1
@@ -42,7 +42,7 @@ func FuzzUnpermuteRoundTrip(f *testing.F) {
 	f.Add(uint16(80), uint8(1), uint8(9))
 	f.Fuzz(func(t *testing.T, nRaw uint16, kindRaw, bRaw uint8) {
 		n := int(nRaw) % 3000
-		kind := layout.Kinds()[int(kindRaw)%3]
+		kind := layout.Kinds()[int(kindRaw)%len(layout.Kinds())]
 		b := int(bRaw)%16 + 1
 		sorted := sortedKeys(n)
 		got := make([]uint64, n)

@@ -160,6 +160,9 @@ func Unpermute[T any](data []T, k layout.Kind, opts ...Option) error {
 	case layout.VEB:
 		core.InvertInvolutionVEB[T](o, vec.Of(data))
 		return nil
+	case layout.Hier:
+		core.InvertHier[T](o, vec.Of(data))
+		return nil
 	}
 	return fmt.Errorf("perm: unknown layout %v", k)
 }

@@ -68,7 +68,7 @@ func TestPermuteOptions(t *testing.T) {
 func TestUnpermuteRoundTrip(t *testing.T) {
 	for _, n := range []int{0, 1, 26, 100, 1000, 4095, 4096} {
 		sorted := sortedKeys(n)
-		for _, k := range []layout.Kind{layout.BST, layout.BTree, layout.VEB, layout.Sorted} {
+		for _, k := range append(layout.Kinds(), layout.Sorted) {
 			for _, a := range Algorithms() {
 				got := make([]uint64, n)
 				copy(got, sorted)

@@ -12,7 +12,7 @@ import (
 // for the result to be a search tree) into layout k using algorithm a, in
 // place, moving vals by the exact same permutation: after the call,
 // vals[i] is still the payload of keys[i] for every i. Both families and
-// all three layouts are supported with the same options as Permute.
+// every layout are supported with the same options as Permute.
 //
 // The kernels never compare elements, so the pairing is realized by a
 // zipped memory backend rather than by materializing an array of pairs —
@@ -57,6 +57,9 @@ func UnpermuteWith[K, V any](keys []K, vals []V, k layout.Kind, opts ...Option) 
 		return nil
 	case layout.VEB:
 		core.InvertInvolutionVEB[vec.KV[K, V]](o, z)
+		return nil
+	case layout.Hier:
+		core.InvertHier[vec.KV[K, V]](o, z)
 		return nil
 	}
 	return fmt.Errorf("perm: unknown layout %v", k)

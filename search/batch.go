@@ -483,6 +483,8 @@ func (ix *Index[T]) findBatchKernel(queries []T, pos []int) int {
 		return BTreeBatch(ix.data, ix.b, queries, pos)
 	case layout.VEB:
 		return VEBBatch(ix.data, queries, pos)
+	case layout.Hier:
+		return HierBatch(ix.data, ix.b, queries, pos)
 	}
 	panic(fmt.Sprintf("search: unknown layout %v", ix.kind))
 }

@@ -21,7 +21,7 @@ func BenchmarkBatchKernels(b *testing.B) {
 		queries[i] = rng % uint64(2*n)
 	}
 	pos := make([]int, len(queries))
-	for _, kind := range []layout.Kind{layout.BST, layout.BTree, layout.VEB, layout.Sorted} {
+	for _, kind := range []layout.Kind{layout.BST, layout.BTree, layout.VEB, layout.Hier, layout.Sorted} {
 		arr := layout.Build(kind, sorted, 8)
 		ix := NewIndex(arr, kind, 8)
 		b.Run(fmt.Sprintf("%v/serial", kind), func(b *testing.B) {

@@ -19,6 +19,8 @@ func ringKernel(kind layout.Kind, arr []uint64, b int, queries []uint64, pos []i
 		return btreeBatchRing(arr, b, queries, pos, ring)
 	case layout.VEB:
 		return vebBatchRing(arr, queries, pos, ring)
+	case layout.Hier:
+		return hierBatchRing(arr, b, queries, pos, ring)
 	}
 	panic("unknown kind")
 }

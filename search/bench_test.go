@@ -63,7 +63,7 @@ func BenchmarkSearch(b *testing.B) {
 
 func BenchmarkPredecessor(b *testing.B) {
 	n := 1 << 20
-	for _, kind := range []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB} {
+	for _, kind := range []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB, layout.Hier} {
 		b.Run(kind.String(), func(b *testing.B) {
 			arr, qs := benchArr(b, kind, n, 8)
 			ix := NewIndex(arr, kind, 8)

@@ -24,7 +24,7 @@ type Index[T cmp.Ordered] struct {
 // whenever the layout was built with perm.WithB: b must equal the build
 // capacity or every query silently descends the wrong tree.
 func NewIndex[T cmp.Ordered](data []T, k layout.Kind, b int) *Index[T] {
-	if k == layout.BTree && b < 1 {
+	if (k == layout.BTree || k == layout.Hier) && b < 1 {
 		b = perm.DefaultB
 	}
 	return &Index[T]{data: data, kind: k, b: b}
@@ -84,6 +84,8 @@ func (ix *Index[T]) Find(x T) int {
 		return BTree(ix.data, ix.b, x)
 	case layout.VEB:
 		return VEB(ix.data, x)
+	case layout.Hier:
+		return Hier(ix.data, ix.b, x)
 	}
 	panic(fmt.Sprintf("search: unknown layout %v", ix.kind))
 }

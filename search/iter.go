@@ -20,6 +20,8 @@ func (ix *Index[T]) Successor(x T) int {
 		return successorBTree(ix.data, ix.b, x)
 	case layout.VEB:
 		return successorVEB(ix.data, x)
+	case layout.Hier:
+		return successorHier(ix.data, ix.b, x)
 	}
 	return -1
 }
@@ -116,6 +118,8 @@ func (ix *Index[T]) Range(lo, hi T, yield func(pos int, key T) bool) {
 		}
 	case layout.BTree:
 		ix.rangeBTree(0, lo, hi, &yieldState[T]{yield: yield})
+	case layout.Hier:
+		ix.rangeHier(0, lo, hi, &yieldState[T]{yield: yield})
 	default:
 		ix.rangeTree(0, 0, lo, hi, &yieldState[T]{yield: yield})
 	}
@@ -136,6 +140,8 @@ func (ix *Index[T]) Scan(yield func(pos int, key T) bool) {
 		}
 	case layout.BTree:
 		ix.scanBTree(0, &yieldState[T]{yield: yield})
+	case layout.Hier:
+		ix.scanHier(0, &yieldState[T]{yield: yield})
 	default:
 		ix.scanTree(0, 0, &yieldState[T]{yield: yield})
 	}

@@ -97,6 +97,8 @@ func (ix *Index[T]) Predecessor(x T) int {
 		return PredecessorBTree(ix.data, ix.b, x)
 	case layout.VEB:
 		return PredecessorVEB(ix.data, x)
+	case layout.Hier:
+		return PredecessorHier(ix.data, ix.b, x)
 	}
 	return -1
 }

@@ -137,7 +137,7 @@ func TestDBCompactionMergesAndDropsTombstones(t *testing.T) {
 }
 
 func TestDBRangeMergesAllLayers(t *testing.T) {
-	for _, kind := range []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB} {
+	for _, kind := range []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB, layout.Hier} {
 		t.Run(kind.String(), func(t *testing.T) {
 			db, err := NewDB[uint64, string](DBConfig{MemLimit: 16, Fanout: 3,
 				Store: []Option{WithLayout(kind), WithShards(3), WithB(4)}})

@@ -42,11 +42,22 @@ func listFiles(t *testing.T, dir, pattern string) []string {
 // TestDBCrashRecovery writes a batch across segments, frozen tables,
 // and the active memtable, simulates a crash, reopens the directory,
 // and verifies every acknowledged record — including overwrites and
-// tombstones — is served exactly as acked.
+// tombstones — is served exactly as acked. Every layout goes through
+// the full cycle: recovery replays the WAL into segments encoded with
+// the configured layout, so each on-disk kind (including the
+// page-aligned hier frames) must survive crash → reopen → clean close.
 func TestDBCrashRecovery(t *testing.T) {
+	for _, kind := range append(layout.Kinds(), layout.Sorted) {
+		t.Run(kind.String(), func(t *testing.T) {
+			testDBCrashRecovery(t, kind)
+		})
+	}
+}
+
+func testDBCrashRecovery(t *testing.T, kind layout.Kind) {
 	dir := t.TempDir()
 	cfg := DBConfig{MemLimit: 64, Fanout: 2,
-		Store: []Option{WithLayout(layout.VEB), WithShards(2)}}
+		Store: []Option{WithLayout(kind), WithShards(2), WithB(4)}}
 	db, err := Open[uint64, string](dir, cfg)
 	if err != nil {
 		t.Fatal(err)

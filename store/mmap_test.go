@@ -55,7 +55,7 @@ func buildFixedRandom(t *testing.T, n int, opts ...Option) *Store[int64, uint64]
 // decoded onto the heap or mapped, across all layouts.
 func TestOpenStoreParity(t *testing.T) {
 	const n = 3000
-	for _, kind := range []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB} {
+	for _, kind := range []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB, layout.Hier} {
 		for _, mmap := range []bool{false, true} {
 			t.Run(fmt.Sprintf("%v/mmap=%v", kind, mmap), func(t *testing.T) {
 				orig := buildFixedRandom(t, n, WithLayout(kind), WithShards(4), WithB(4))
@@ -136,7 +136,7 @@ func assertStoreParity(t *testing.T, want, got *Store[int64, uint64], n int) {
 // cold-serve (mmap) mode, across all tree layouts.
 func TestDBMmapParity(t *testing.T) {
 	const n = 4000
-	for _, kind := range []layout.Kind{layout.BST, layout.BTree, layout.VEB} {
+	for _, kind := range []layout.Kind{layout.BST, layout.BTree, layout.VEB, layout.Hier} {
 		t.Run(kind.String(), func(t *testing.T) {
 			dir := t.TempDir()
 			cfg := DBConfig{

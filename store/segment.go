@@ -62,10 +62,15 @@ import (
 // A v2 shard array on disk is bit-identical to the array in memory, and
 // every array payload starts 64-byte aligned (cache-line aligned, and —
 // since the magic sits at file offset 0 and mappings are page-aligned —
-// correctly aligned for any primitive element). That is what makes v2
-// mappable: OpenStore with WithMmap serves the arrays in place from the
-// page cache without decoding them (see mmap.go). v1 remains the
-// fallback for arbitrary gob-encodable types and stays readable forever.
+// correctly aligned for any primitive element). Hierarchical-layout
+// segments widen that to 4096: their page-sized layout blocks then
+// coincide with OS pages of the mapping, so one cold outer descent step
+// costs one page fault (see segAlignFor). Pad frames are self-sizing,
+// so readers need not know which alignment the writer chose. That is
+// what makes v2 mappable: OpenStore with WithMmap serves the arrays in
+// place from the page cache without decoding them (see mmap.go). v1
+// remains the fallback for arbitrary gob-encodable types and stays
+// readable forever.
 //
 // Raw frames are native-endian; the header records the byte order and
 // the element widths, and a reader on a mismatched platform refuses the
@@ -99,7 +104,23 @@ const (
 	// file: one cache line, and a multiple of every primitive's natural
 	// alignment.
 	segAlign = 64
+
+	// segPageAlign is the v2 array alignment for hierarchical-layout
+	// segments: one OS page, so that a mapped shard's page-sized layout
+	// blocks coincide with page-cache units and a cold outer descent
+	// step faults exactly one page. Readers are pad-length-agnostic, so
+	// the wider padding needs no format change.
+	segPageAlign = 4096
 )
+
+// segAlignFor returns the v2 array alignment for a layout: page blocks
+// for the hierarchical layout, cache lines otherwise.
+func segAlignFor(k layout.Kind) int {
+	if k == layout.Hier {
+		return segPageAlign
+	}
+	return segAlign
+}
 
 // errSegVersionUnknown marks a segment written by a build newer than this
 // one. Open treats it specially: such a file is refused, never deleted as
@@ -329,15 +350,16 @@ func readGobSlice[T any](br *blockio.Reader, tag byte, n int, dst []T) error {
 	return nil
 }
 
-// segZeros backs pad-frame payloads (at most segAlign-1 bytes of them).
-var segZeros [segAlign]byte
+// segZeros backs pad-frame payloads (at most segPageAlign-1 bytes of
+// them).
+var segZeros [segPageAlign]byte
 
 // writeRawFrame writes the v2 form of one shard array: a pad frame sized
-// so the array payload that follows starts at a segAlign-aligned stream
+// so the array payload that follows starts at an align-aligned stream
 // offset (base is the writer's offset within the stream — the magic
 // length), then the raw array bytes themselves.
-func writeRawFrame(bw *blockio.Writer, base int64, tag byte, payload []byte) error {
-	pad := int((segAlign - (base+bw.Offset()+2*blockio.HeaderSize)%segAlign) % segAlign)
+func writeRawFrame(bw *blockio.Writer, base int64, tag byte, payload []byte, align int64) error {
+	pad := int((align - (base+bw.Offset()+2*blockio.HeaderSize)%align) % align)
 	if err := bw.WriteBlock(tagSegPad, segZeros[:pad]); err != nil {
 		return err
 	}
@@ -477,13 +499,14 @@ func writeSegStreamVersion[K cmp.Ordered, V any](w io.Writer, s *Store[K, V], co
 	if err := writeGobFrame(bw, tagSegHeader, hdr); err != nil {
 		return base + bw.Offset(), err
 	}
+	align := int64(segAlignFor(s.cfg.Layout))
 	for i, sh := range s.shards {
 		if version == segV2 {
-			if err := writeRawFrame(bw, base, tagSegKeys, mmapio.Bytes(sh.idx.Data())); err != nil {
+			if err := writeRawFrame(bw, base, tagSegKeys, mmapio.Bytes(sh.idx.Data()), align); err != nil {
 				return base + bw.Offset(), err
 			}
 			if s.hasVals {
-				if err := writeRawFrame(bw, base, codec.rawTag(), mmapio.Bytes(s.svals[i])); err != nil {
+				if err := writeRawFrame(bw, base, codec.rawTag(), mmapio.Bytes(s.svals[i]), align); err != nil {
 					return base + bw.Offset(), err
 				}
 			}
@@ -521,7 +544,7 @@ func validateSegHeader[K cmp.Ordered, V any](hdr *segHeader, codec segCodec[V]) 
 			hdr.Payload, codec.kind())
 	}
 	switch layout.Kind(hdr.Layout) {
-	case layout.Sorted, layout.BST, layout.BTree, layout.VEB:
+	case layout.Sorted, layout.BST, layout.BTree, layout.VEB, layout.Hier:
 	default:
 		return fmt.Errorf("store: segment names unknown layout %d", hdr.Layout)
 	}

@@ -5,7 +5,27 @@ import (
 	"encoding/binary"
 	"slices"
 	"testing"
+
+	"implicitlayout/layout"
 )
+
+// v2FuzzLayouts maps the high bits of the fuzzed shard byte to a
+// (layout, block capacity) pair, so one fuzz input byte steers shard
+// count AND layout and the corpus explores every on-disk kind —
+// including the page-aligned hier frames.
+var v2FuzzLayouts = [8]struct {
+	kind layout.Kind
+	b    int
+}{
+	{layout.Sorted, 0},
+	{layout.BST, 0},
+	{layout.BTree, 8},
+	{layout.VEB, 0},
+	{layout.Hier, 8},
+	{layout.BTree, 3},
+	{layout.Hier, 2},
+	{layout.Hier, 8},
+}
 
 // FuzzSegmentRoundTripV2 drives the raw fixed-width codec the way
 // FuzzSegmentRoundTrip drives gob: fuzzer-shaped record sets over
@@ -19,6 +39,9 @@ func FuzzSegmentRoundTripV2(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(2), uint8(7))
 	f.Add([]byte{0xFF}, uint8(1), uint8(0))
 	f.Add(bytes.Repeat([]byte{0x42, 0x00, 0x13}, 100), uint8(31), uint8(255))
+	// High shard bits select the layout: 4<<5 is hier/b=8, 6<<5 hier/b=2.
+	f.Add(bytes.Repeat([]byte{0x42, 0x00, 0x13}, 100), uint8(4<<5|2), uint8(9))
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1}, uint8(6<<5|1), uint8(77))
 	f.Fuzz(func(t *testing.T, data []byte, shards uint8, flip uint8) {
 		if len(data) == 0 {
 			return
@@ -36,7 +59,9 @@ func FuzzSegmentRoundTripV2(f *testing.F) {
 				vals[i] = uint32(data[3*i+2]) * 3
 			}
 		}
-		st, err := Build(keys, vals, WithShards(int(shards%32)+1))
+		lay := v2FuzzLayouts[int(shards>>5)]
+		st, err := Build(keys, vals,
+			WithShards(int(shards%32)+1), WithLayout(lay.kind), WithB(lay.b))
 		if err != nil {
 			t.Fatalf("Build over fuzz records: %v", err)
 		}

@@ -30,7 +30,7 @@ func buildRandom(t *testing.T, n int, opts ...Option) (*Store[uint64, string], [
 }
 
 func TestSegmentRoundTrip(t *testing.T) {
-	for _, kind := range []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB} {
+	for _, kind := range []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB, layout.Hier} {
 		t.Run(kind.String(), func(t *testing.T) {
 			st, wantK, wantV := buildRandom(t, 1000,
 				WithLayout(kind), WithShards(4), WithB(4))

@@ -255,7 +255,7 @@ func Build[K cmp.Ordered, V any](keys []K, vals []V, opts ...Option) (*Store[K, 
 	}
 	c := buildConfig(len(keys), opts)
 	switch c.Layout {
-	case layout.Sorted, layout.BST, layout.BTree, layout.VEB:
+	case layout.Sorted, layout.BST, layout.BTree, layout.VEB, layout.Hier:
 	default:
 		return nil, fmt.Errorf("store: unknown layout %v", c.Layout)
 	}

@@ -23,7 +23,7 @@ func shuffledOdd(n int, seed int64) []uint64 {
 	return keys
 }
 
-var allKinds = []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB}
+var allKinds = []layout.Kind{layout.Sorted, layout.BST, layout.BTree, layout.VEB, layout.Hier}
 
 // TestRoundTrip is the key-set acceptance property: for every layout kind
 // and shard count in {1, 4, 16}, building from a shuffled key set then
@@ -299,7 +299,7 @@ func TestBuildDoesNotMutateInput(t *testing.T) {
 func TestAlgorithmFamiliesAgree(t *testing.T) {
 	const n = 2048
 	keys := shuffledOdd(n, 17)
-	for _, kind := range []layout.Kind{layout.BST, layout.BTree, layout.VEB} {
+	for _, kind := range []layout.Kind{layout.BST, layout.BTree, layout.VEB, layout.Hier} {
 		a, err := store.BuildSet(keys, store.WithLayout(kind), store.WithShards(4),
 			store.WithAlgorithm(perm.Involution))
 		if err != nil {
