@@ -25,6 +25,16 @@
 // table reports both as decode_ms and mmap_ms — the cold-start gap the
 // raw segment codec buys.
 //
+// With -compact it benchmarks the streaming compaction path: the DB is
+// preloaded into -runs fully-overlapping level-0 runs under -dir, the
+// per-run filter gate is exercised with absent-key Gets (the
+// probe/skip counters become columns), and then the one R-way streaming
+// merge is timed with HeapAlloc sampled throughout — the peak_heap_mb
+// column is the O(one output shard) claim, measured. -heapmb applies a
+// soft runtime memory limit (GOMEMLIMIT-style) before the run, so CI
+// can assert the merge completes inside a budget far below the dataset
+// size. Combine with -mmap to serve the merge inputs zero-copy.
+//
 // With -batch it benchmarks the batched search path instead: the
 // interleaved ring kernels behind FindBatch/GetBatch against the
 // per-query serial descents they replaced, per layout x worker count.
@@ -44,12 +54,14 @@
 //	storebench -writes 0.2 -logn 16 -ops 200000 -dir /tmp/sb -json BENCH_durable.json
 //	storebench -writes 0.2 -logn 22 -ops 200000 -dir /tmp/sb -mmap -json BENCH_mmap.json
 //	storebench -batch -logn 22 -q 1000000 -workers 1 -mmap -json BENCH_batch.json
+//	storebench -compact -logn 20 -runs 8 -dir /tmp/sb -mmap -heapmb 256 -json BENCH_compact.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"strconv"
 	"strings"
 
@@ -86,6 +98,15 @@ func main() {
 	batch := flag.Bool("batch", false,
 		"batched-search mode: interleaved ring kernels vs per-query serial descents "+
 			"(uses -logn, -q, -b, -hitfrac, -workers, -layouts; -mmap adds cold-serve rows)")
+	compact := flag.Bool("compact", false,
+		"streaming-compaction mode: preload -runs overlapping level-0 runs, "+
+			"exercise the per-run filters with absent-key Gets, then time the "+
+			"R-way streaming merge with the heap sampled (uses -logn, -runs, "+
+			"-b, -layouts, -dir, -mmap, -trials; -heapmb caps the runtime)")
+	runs := flag.Int("runs", 8, "input run count for -compact")
+	heapMB := flag.Int("heapmb", 0,
+		"soft runtime memory limit in MiB (debug.SetMemoryLimit), 0 = none; "+
+			"lets CI assert -compact merges inside a budget below the dataset size")
 	cold := flag.Bool("cold", false,
 		"cold point-lookup mode: per-lookup cost with the segment remapped and "+
 			"page-cache-evicted before every single Get, vs the same lookups on a "+
@@ -96,13 +117,19 @@ func main() {
 	if *writes < 0 || *writes > 1 {
 		fatalf("-writes %v outside [0, 1]", *writes)
 	}
-	if (*batch || *cold) && *writes > 0 {
-		fatalf("-batch and -cold are read-only modes; drop -writes")
+	if (*batch || *cold || *compact) && *writes > 0 {
+		fatalf("-batch, -cold, and -compact are their own modes; drop -writes")
 	}
-	if *batch && *cold {
-		fatalf("-batch and -cold are mutually exclusive")
+	if (*batch && *cold) || (*batch && *compact) || (*cold && *compact) {
+		fatalf("-batch, -cold, and -compact are mutually exclusive")
 	}
-	if !*batch && !*cold {
+	if *compact && *dir == "" {
+		fatalf("-compact requires -dir: the streaming merge is the durable path")
+	}
+	if *heapMB > 0 {
+		debug.SetMemoryLimit(int64(*heapMB) << 20)
+	}
+	if !*batch && !*cold && !*compact {
 		if *dir != "" && *writes == 0 {
 			fatalf("-dir requires the mixed-workload mode (-writes > 0): the durable DB is the write path")
 		}
@@ -111,7 +138,18 @@ func main() {
 		}
 	}
 	var t *bench.Table
-	if *cold {
+	if *compact {
+		var err error
+		t, err = bench.CompactThroughput(bench.CompactConfig{
+			LogN: *logN, Runs: *runs, MissOps: *q, B: *b,
+			Dir: *dir, Mmap: *mmap,
+			Layouts: parseLayouts(*layouts),
+			Trials:  *trials, Seed: *seed,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else if *cold {
 		var err error
 		t, err = bench.ColdLookup(bench.ColdConfig{
 			LogN: *logN, Lookups: *q, B: *b, HitFrac: *hitFrac,

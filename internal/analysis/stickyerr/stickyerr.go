@@ -10,10 +10,11 @@
 // calls whose errors the engine's contract forbids dropping:
 //
 //   - methods named by the "methods" flag (default Put, Delete, Flush,
-//     Close, WriteTo, WriteBlock) whose receiver type is declared in
-//     this module (flag "module", default implicitlayout) — so a
-//     discarded os.File.Close elsewhere is out of scope, but a
-//     discarded DB.Close or blockio.Writer.WriteBlock is a finding;
+//     Close, WriteTo, WriteBlock, AppendShard, Finish) whose receiver
+//     type is declared in this module (flag "module", default
+//     implicitlayout) — so a discarded os.File.Close elsewhere is out
+//     of scope, but a discarded DB.Close, blockio.Writer.WriteBlock, or
+//     streaming segment writer AppendShard/Finish is a finding;
 //   - package-level functions named by the "funcs" flag (default
 //     WriteFileAtomic, SyncDir) declared in this module.
 //
@@ -38,13 +39,13 @@ import (
 var Analyzer = &lintkit.Analyzer{
 	Name: "stickyerr",
 	Doc: "require consumption of the durable API's error results\n\n" +
-		"Reports discarded errors from module-declared methods (Put/Delete/Flush/Close/WriteTo/WriteBlock) and " +
+		"Reports discarded errors from module-declared methods (Put/Delete/Flush/Close/WriteTo/WriteBlock/AppendShard/Finish) and " +
 		"blockio's atomic-write functions: a dropped error silently builds on an unacknowledged write.",
 	Run: run,
 }
 
 var (
-	methodNames = "Put,Delete,Flush,Close,WriteTo,WriteBlock"
+	methodNames = "Put,Delete,Flush,Close,WriteTo,WriteBlock,AppendShard,Finish"
 	funcNames   = "WriteFileAtomic,SyncDir"
 	modulePath  = "implicitlayout"
 )

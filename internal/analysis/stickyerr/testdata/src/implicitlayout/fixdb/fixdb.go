@@ -19,6 +19,26 @@ func useBad(db *DB) {
 	go db.Close()    // want `error result of DB\.Close discarded by go`
 }
 
+// SegWriter models the streaming segment writer: a shard append or the
+// finishing frame that fails unreported leaves a torn stream behind an
+// otherwise-successful-looking merge.
+type SegWriter struct{}
+
+func (w *SegWriter) AppendShard(keys, vals []uint64) error { return nil }
+func (w *SegWriter) Finish() error                         { return nil }
+
+func useSegWriter(w *SegWriter) {
+	w.AppendShard(nil, nil) // want `error result of SegWriter\.AppendShard discarded`
+	_ = w.Finish()          // want `error result of SegWriter\.Finish assigned to blank`
+}
+
+func useSegWriterGood(w *SegWriter) error {
+	if err := w.AppendShard(nil, nil); err != nil {
+		return err
+	}
+	return w.Finish()
+}
+
 func useBlockio() {
 	blockio.WriteFileAtomic("MANIFEST", nil) // want `error result of blockio\.WriteFileAtomic discarded`
 }

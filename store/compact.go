@@ -10,7 +10,6 @@ import (
 	"path/filepath"
 
 	"implicitlayout/internal/blockio"
-	"implicitlayout/internal/par"
 )
 
 // maintain drains all pending background work: flush every frozen
@@ -105,12 +104,16 @@ func (db *DB[K, V]) flushOne() bool {
 
 // mergeOne merges the runs of the shallowest over-full level (>= Fanout
 // runs) into one run of the next level, returning false when every level
-// is within bounds. The merge exports each run back to sorted records
-// (parallel unpermute), reduces them newest-to-oldest with the build
-// pipeline's parallel pair merge, resolves shadowed versions
-// first-hit-wins, and builds the result into a fresh sharded layout. A
-// merge that consumes the oldest run drops tombstones too — nothing
-// older exists for them to shadow.
+// is within bounds. The merge streams: each victim is iterated in rank
+// order through its permuted array (no Export, no heap copy of the
+// inputs), a loser tree resolves the k sources newest-first with
+// first-hit-wins, and the output segment is written shard by shard as
+// the merged stream fills each buffer — so the merge's peak heap is one
+// output shard, however large the inputs (see stream.go). A merge that
+// consumes the oldest run drops tombstones too — nothing older exists
+// for them to shadow. Types the raw codec cannot stream (string keys,
+// struct values) and memory-only DBs take the in-memory variant of the
+// same merge: identical record resolution, O(output) heap.
 //
 // Durable mode follows the same swap protocol as flushOne: merged
 // segment written first, manifest rewritten without the victims (the
@@ -123,34 +126,28 @@ func (db *DB[K, V]) mergeOne() bool {
 	}
 	level := st.runs[lo].level
 	toLast := hi == len(st.runs) // merge output becomes the oldest run
-
-	// Export every victim concurrently (each export is itself a parallel
-	// unpermute over the run's shards), newest first.
-	r := par.New(db.workers)
-	exported := make([][]mrec[K, V], hi-lo)
-	r.Tasks(hi-lo, func(i int, _ par.Runner) {
-		keys, vals := st.runs[lo+i].st.Export()
-		exported[i] = zipRecs(keys, vals)
-	})
-
-	// Reduce newest-to-oldest with the parallel pair merge; keeping the
-	// newer run on the left makes parallelMerge's left-wins-ties rule
-	// put the newest version of every key first, which is exactly what
-	// compactRecs' first-hit-wins pass needs.
-	merged := exported[0]
-	for _, older := range exported[1:] {
-		dst := make([]mrec[K, V], len(merged)+len(older))
-		parallelMerge(r, dst, merged, older, func(a, b mrec[K, V]) bool {
-			return a.key < b.key
-		})
-		merged = dst
-	}
-	merged = compactRecs(merged, toLast)
+	victims := st.runs[lo:hi]
 
 	var newRun *run[K, V]
-	if len(merged) > 0 { // all-tombstone merges can compact to nothing
-		keys, vals := unzipRecs(merged)
-		newRun = &run[K, V]{st: db.buildRun(keys, vals), level: level + 1}
+	if db.dir != "" && runStreamable[K, V]() {
+		var err error
+		if newRun, err = db.mergeStreamed(victims, level+1, toLast); err != nil {
+			db.setErr(err)
+			return false // victims stay live; merge retries after the error clears
+		}
+	} else {
+		keys, vals := mergeToMemory(victims, toLast)
+		if len(keys) > 0 { // all-tombstone merges can compact to nothing
+			newRun = &run[K, V]{st: db.buildRun(keys, vals), level: level + 1}
+			if db.dir != "" {
+				file, err := db.writeSegment(newRun.st)
+				if err != nil {
+					db.setErr(err)
+					return false
+				}
+				newRun.file = file
+			}
+		}
 	}
 
 	// The post-merge run stack: victims [lo, hi) replaced by the merged
@@ -159,14 +156,6 @@ func (db *DB[K, V]) mergeOne() bool {
 	nr := make([]*run[K, V], 0, len(st.runs)-(hi-lo)+1)
 	nr = append(nr, st.runs[:lo]...)
 	if newRun != nil {
-		if db.dir != "" {
-			file, err := db.writeSegment(newRun.st)
-			if err != nil {
-				db.setErr(err)
-				return false // victims stay live; merge retries after the error clears
-			}
-			newRun.file = file
-		}
 		nr = append(nr, newRun)
 	}
 	nr = append(nr, st.runs[hi:]...)
@@ -202,6 +191,88 @@ func (db *DB[K, V]) mergeOne() bool {
 	return true
 }
 
+// errSegEmpty aborts a streamed merge whose every record compacted away
+// (an all-tombstone merge into the oldest level): returned from the
+// WriteFileAtomic callback, it makes the writer discard the temp file,
+// and mergeStreamed maps it to "no output run".
+var errSegEmpty = errors.New("store: merge compacted to nothing")
+
+// mergeStreamed is the durable merge path: the k-way streaming merge
+// writing its output segment shard by shard inside one atomic file
+// write. The whole merge runs in the WriteFileAtomic callback, so a
+// crash at any point leaves only a temp file the next Open removes —
+// the victims stay live until the manifest commit that follows. On
+// success the segment is reopened through the normal segment path
+// (mapped in cold-serve mode), so the merged run's records live in the
+// page cache, not the heap, and the merge's peak heap stays O(one
+// shard) end to end. Returns (nil, nil) when the merge compacts to
+// nothing.
+func (db *DB[K, V]) mergeStreamed(victims []*run[K, V], level int, dropTombs bool) (*run[K, V], error) {
+	upper := 0
+	for _, v := range victims {
+		upper += v.st.Len()
+	}
+	cfg := buildConfig(upper, db.runOpts)
+	path := segmentPath(db.dir, db.nextSeq.Add(1)-1)
+	err := blockio.WriteFileAtomic(path, func(w io.Writer) error {
+		sources := make([]*source[K, V], len(victims))
+		for i, v := range victims {
+			sources[i] = rankSource(v.st) // victims are newest-first already
+		}
+		sw, err := newSegWriter[K, V](w, cfg, upper)
+		if err != nil {
+			return err
+		}
+		ss := newShardStreamer(sw, streamShardPlan(cfg, upper))
+		if err := streamCompact(sources, dropTombs, ss.add); err != nil {
+			return err
+		}
+		if err := ss.flush(); err != nil {
+			return err
+		}
+		if sw.Records() == 0 {
+			return errSegEmpty
+		}
+		return sw.Finish()
+	})
+	if errors.Is(err, errSegEmpty) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: writing merged segment: %w", err)
+	}
+	file := filepath.Base(path)
+	st, err := db.readSegmentFile(file)
+	if err != nil {
+		os.Remove(path) // unreadable before it was ever live: GC, best-effort
+		return nil, fmt.Errorf("store: reopening merged segment: %w", err)
+	}
+	return &run[K, V]{st: st, level: level, file: file}, nil
+}
+
+// mergeToMemory runs the same streaming merge with an in-memory sink:
+// the fallback for memory-only DBs and for types the raw codec cannot
+// stream. Record resolution is identical to mergeStreamed — one code
+// path decides what survives a compaction (see streamCompact).
+func mergeToMemory[K cmp.Ordered, V any](victims []*run[K, V], dropTombs bool) ([]K, []mval[V]) {
+	upper := 0
+	for _, v := range victims {
+		upper += v.st.Len()
+	}
+	sources := make([]*source[K, V], len(victims))
+	for i, v := range victims {
+		sources[i] = rankSource(v.st)
+	}
+	keys := make([]K, 0, upper)
+	vals := make([]mval[V], 0, upper)
+	streamCompact(sources, dropTombs, func(k K, mv mval[V]) error {
+		keys = append(keys, k)
+		vals = append(vals, mv)
+		return nil
+	})
+	return keys, vals
+}
+
 // overFullLevel returns the bounds [lo, hi) of the runs of the
 // shallowest level holding at least fanout runs. Runs are newest-first
 // and level-ascending, so each level is one contiguous band.
@@ -229,6 +300,11 @@ func (db *DB[K, V]) buildRun(keys []K, vals []mval[V]) *Store[K, mval[V]] {
 	if err != nil {
 		panic("store: run build failed: " + err.Error())
 	}
+	// Attach the run's key filter (fences and maxKey fall out of the
+	// build; the bloom must be made). The input keys are already unique
+	// — memtables and merges both dedupe — so the filter is sized
+	// exactly. The v2.1 segment codec persists it with the run.
+	st.bloom = runBloom(keys)
 	return st
 }
 

@@ -122,6 +122,15 @@ type DB[K cmp.Ordered, V any] struct {
 	workers int // parallelism for compaction-time merge, from the build config
 	errMu   sync.Mutex
 	ioErr   error // first durability failure; sticky, fails all later writes
+
+	// Read-amplification counters: for every (point lookup, run) pair
+	// the read path either probes the run or the run's filter metadata
+	// proves the key absent first (fence interval, then bloom filter).
+	// Plain atomics — the counters are observability, never consulted
+	// for correctness, and a Get must not contend on anything shared.
+	ampProbed atomic.Uint64
+	ampFence  atomic.Uint64
+	ampBloom  atomic.Uint64
 }
 
 // NewDB opens an empty memory-only writable store — Open with no
@@ -262,7 +271,7 @@ func (db *DB[K, V]) openDir(dir string) error {
 				// and guessing that a newer build's file is garbage risks
 				// destroying data whose role we cannot judge: refuse the
 				// directory instead of GC'ing it.
-				if v, err := probeSegmentVersion(filepath.Join(dir, name)); err == nil && v != segV1 && v != segV2 {
+				if v, err := probeSegmentVersion(filepath.Join(dir, name)); err == nil && v != segV1 && v != segV2 && v != segV21 {
 					return fail(fmt.Errorf("store: stray segment %s has codec version %d, which this build does not know (written by a newer build?); refusing to garbage-collect it", name, v))
 				}
 				os.Remove(filepath.Join(dir, name)) // stray: GC, best-effort
@@ -502,6 +511,18 @@ func (db *DB[K, V]) Get(key K) (val V, ok bool) {
 		}
 	}
 	for _, r := range st.runs {
+		// Fences and bloom filter first: most runs cannot hold the key,
+		// and proving that costs two comparisons and at most one filter
+		// cache line — no descent, and (for mapped runs) no page faults.
+		switch r.filterCheck(key) {
+		case runSkipFence:
+			db.ampFence.Add(1)
+			continue
+		case runSkipBloom:
+			db.ampBloom.Add(1)
+			continue
+		}
+		db.ampProbed.Add(1)
 		if mv, hit := r.st.Get(key); hit {
 			return liveValue(mv)
 		}
@@ -568,24 +589,58 @@ func (db *DB[K, V]) GetBatch(keys []K, p int) (vals []V, found []bool) {
 		pending = keep
 	}
 	sub := make([]K, 0, len(pending))
+	subIdx := make([]int, 0, len(pending))
+	var nProbe, nFence, nBloom uint64
 	for _, r := range st.runs {
 		if len(pending) == 0 {
 			break
 		}
-		sub = sub[:0]
+		// Filter first: only keys the run's fences and bloom filter
+		// cannot disprove enter the batch kernel. A filtered key stays
+		// pending — an older run may still hold it.
+		sub, subIdx = sub[:0], subIdx[:0]
 		for _, i := range pending {
-			sub = append(sub, keys[i])
-		}
-		br := r.st.GetBatch(sub, p)
-		keep := pending[:0]
-		for j, i := range pending {
-			if br.Found[j] {
-				vals[i], found[i] = liveValue(br.Vals[j])
-			} else {
-				keep = append(keep, i)
+			switch r.filterCheck(keys[i]) {
+			case runSkipFence:
+				nFence++
+			case runSkipBloom:
+				nBloom++
+			default:
+				sub = append(sub, keys[i])
+				subIdx = append(subIdx, i)
 			}
 		}
+		if len(sub) == 0 {
+			continue
+		}
+		nProbe += uint64(len(sub))
+		br := r.st.GetBatch(sub, p)
+		// Settle the probed keys that found a version (live or
+		// tombstone), walking pending and the probed subset in lockstep
+		// so the unprobed keys stay pending in order.
+		keep := pending[:0]
+		j := 0
+		for _, i := range pending {
+			if j < len(subIdx) && subIdx[j] == i {
+				if br.Found[j] {
+					vals[i], found[i] = liveValue(br.Vals[j])
+					j++
+					continue
+				}
+				j++
+			}
+			keep = append(keep, i)
+		}
 		pending = keep
+	}
+	if nProbe > 0 {
+		db.ampProbed.Add(nProbe)
+	}
+	if nFence > 0 {
+		db.ampFence.Add(nFence)
+	}
+	if nBloom > 0 {
+		db.ampBloom.Add(nBloom)
 	}
 	return vals, found
 }
@@ -713,6 +768,18 @@ type DBStats struct {
 	RunRecords []int
 	// RunLevels — see RunRecords.
 	RunLevels []int
+	// RunsProbed, RunsSkippedFence, and RunsSkippedBloom decompose the
+	// DB's lifetime point-lookup read amplification: for every
+	// (lookup, run) pair considered by Get or GetBatch, exactly one of
+	// the three counters advanced — the run was probed (a layout
+	// descent), the fence interval proved the key absent, or the bloom
+	// filter did. Probed / (sum of all three) is the fraction of the
+	// run stack a lookup actually touches.
+	RunsProbed uint64
+	// RunsSkippedFence — see RunsProbed.
+	RunsSkippedFence uint64
+	// RunsSkippedBloom — see RunsProbed.
+	RunsSkippedBloom uint64
 }
 
 // Runs returns the run count.
@@ -727,10 +794,13 @@ func (db *DB[K, V]) Stats() DBStats {
 	db.mu.RUnlock()
 	st := db.state.Load()
 	stats := DBStats{
-		MemRecords:   mem,
-		FrozenTables: len(st.frozen),
-		RunRecords:   make([]int, len(st.runs)),
-		RunLevels:    make([]int, len(st.runs)),
+		MemRecords:       mem,
+		FrozenTables:     len(st.frozen),
+		RunRecords:       make([]int, len(st.runs)),
+		RunLevels:        make([]int, len(st.runs)),
+		RunsProbed:       db.ampProbed.Load(),
+		RunsSkippedFence: db.ampFence.Load(),
+		RunsSkippedBloom: db.ampBloom.Load(),
 	}
 	for i, r := range st.runs {
 		stats.RunRecords[i] = r.st.Len()

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"cmp"
 	"fmt"
 	"os"
@@ -626,6 +627,137 @@ func TestDBSyncWrites(t *testing.T) {
 	for i := uint64(0); i < 20; i++ {
 		if v, ok := reopened.Get(i); !ok || v != fmt.Sprint("s", i) {
 			t.Fatalf("synced write lost: Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+}
+
+// partialV21Stream builds the byte prefix a crash mid-streaming-merge
+// leaves in the segment temp file: magic, v2.1 header, and one shard's
+// frames — no filter frame, no trailer. Every reader must refuse it.
+func partialV21Stream(t *testing.T, finish bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw, err := newSegWriter[uint64, uint64](&buf, buildConfig(4, nil), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AppendShard([]uint64{10, 20, 30, 40},
+		make([]mval[uint64], 4)); err != nil {
+		t.Fatal(err)
+	}
+	if finish {
+		if err := sw.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestDBCrashMidStreamingMerge plants the two artifacts a crash during
+// a streaming compaction can leave — the WriteFileAtomic temp holding a
+// partial v2.1 stream (killed mid-shard-append), and a complete v2.1
+// segment that was renamed into place but never committed to the
+// manifest — and verifies the reopen garbage-collects both, serves
+// every record from the still-live victims, and that the interrupted
+// merge then reruns to completion with the same answers.
+func TestDBCrashMidStreamingMerge(t *testing.T) {
+	dir := t.TempDir()
+	big := DBConfig{MemLimit: 300, Fanout: 100} // one run per flush, no merges yet
+	db, err := Open[uint64, uint64](dir, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[uint64]uint64{}
+	for r := uint64(0); r < 3; r++ {
+		for i := uint64(0); i < 200; i++ {
+			k := r*150 + i // overlapping ranges: the merge resolves versions
+			if k%11 == 0 {
+				if err := db.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+				delete(ref, k)
+			} else {
+				if err := db.Put(k, k*1000+r); err != nil {
+					t.Fatal(err)
+				}
+				ref[k] = k*1000 + r
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Stats().Runs(); got != 3 {
+		t.Fatalf("setup produced %d runs, want 3", got)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash artifacts. The temp is what dies mid-append inside
+	// WriteFileAtomic; the strays are what dies between the rename and
+	// the manifest commit (complete) or mid-append if the temp had
+	// already been named (torn). All three carry the v2.1 version the
+	// stray-GC probe must recognize — an unknown version would refuse
+	// the whole directory.
+	mustWrite := func(path string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite(filepath.Join(dir, ".tmp-seg-merge-crashed"), partialV21Stream(t, false))
+	mustWrite(segmentPath(dir, 0xFFF0), partialV21Stream(t, false))
+	mustWrite(segmentPath(dir, 0xFFF1), partialV21Stream(t, true))
+
+	reopened, err := Open[uint64, uint64](dir, big)
+	if err != nil {
+		t.Fatalf("reopening after simulated merge crash: %v", err)
+	}
+	if got := reopened.Stats().Runs(); got != 3 {
+		t.Fatalf("victims not all live after crash recovery: %d runs, want 3", got)
+	}
+	for _, glob := range []string{".tmp-*", "seg-000000000000fff*.seg"} {
+		if left := listFiles(t, dir, glob); len(left) != 0 {
+			t.Fatalf("crash artifacts survived the reopen: %v", left)
+		}
+	}
+	for k := uint64(0); k < 500; k++ {
+		want, live := ref[k]
+		got, ok := reopened.Get(k)
+		if ok != live || got != want {
+			t.Fatalf("after crash recovery Get(%d) = (%d, %v), want (%d, %v)", k, got, ok, want, live)
+		}
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Now let the interrupted merge actually run: reopen with a fanout
+	// the three level-0 runs exceed and drain. The streamed merge must
+	// produce one run serving the same records, deleted keys dropped
+	// for good (the output is the oldest run).
+	small := DBConfig{MemLimit: 300, Fanout: 3}
+	merged, err := Open[uint64, uint64](dir, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	if err := merged.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := merged.Stats()
+	if st.Runs() != 1 || st.RunLevels[0] != 1 {
+		t.Fatalf("merge did not compact to one level-1 run: %+v", st)
+	}
+	if st.RunRecords[0] != len(ref) {
+		t.Fatalf("merged run holds %d records, want %d (tombstones dropped)", st.RunRecords[0], len(ref))
+	}
+	for k := uint64(0); k < 500; k++ {
+		want, live := ref[k]
+		got, ok := merged.Get(k)
+		if ok != live || got != want {
+			t.Fatalf("after merge Get(%d) = (%d, %v), want (%d, %v)", k, got, ok, want, live)
 		}
 	}
 }

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
 
 	"bytes"
 
 	"implicitlayout/internal/blockio"
+	"implicitlayout/internal/filter"
 	"implicitlayout/internal/mmapio"
 	"implicitlayout/search"
 )
@@ -148,15 +150,45 @@ func readSegMapped[K cmp.Ordered, V any](b []byte, codec segCodec[V], opts []Opt
 	if err := validateSegHeader[K](&hdr, codec); err != nil {
 		return nil, err
 	}
-	if hdr.Version != segV2 {
+	if hdr.Version == segV1 {
 		return nil, fmt.Errorf("%w: v%d segments hold gob frames, which map to nothing", errSegNotMappable, hdr.Version)
+	}
+	var rawKeys, rawVals [][]byte
+	var sf segFilter
+	if hdr.Version == segV21 {
+		// The streamable format states its shard lengths only in the
+		// trailing 'f' frame, so a mapped open walks the frames first:
+		// each shard's record count falls out of its key frame's size,
+		// and the 'f' frame must then agree with what was observed. The
+		// walk touches only frame headers and the small structural
+		// payloads — the bulk arrays stay cold.
+		rawKeys, rawVals, sf, off, err = mappedV21Frames(b, off, &hdr, codec.rawTag())
+		if err != nil {
+			return nil, err
+		}
+		lens := make([]int, len(rawKeys))
+		records := 0
+		for i, rk := range rawKeys {
+			lens[i] = len(rk) / hdr.KeyWidth
+			records += lens[i]
+		}
+		if err := validateShardLens(sf.ShardLens, sf.Records); err != nil {
+			return nil, err
+		}
+		if sf.Records != records || !slices.Equal(sf.ShardLens, lens) {
+			return nil, fmt.Errorf("store: segment filter frame says %d records in shards %v, stream holds %d in %v",
+				sf.Records, sf.ShardLens, records, lens)
+		}
+		hdr.Records = records
+		hdr.ShardLens = lens
 	}
 	s := newSegStore[K, V](&hdr, opts)
 	recOff := 0
 	for i, l := range hdr.ShardLens {
 		var raw []byte
-		raw, off, err = mappedRawFrame(b, off, tagSegKeys, l, hdr.KeyWidth)
-		if err != nil {
+		if hdr.Version == segV21 {
+			raw = rawKeys[i]
+		} else if raw, off, err = mappedRawFrame(b, off, tagSegKeys, l, hdr.KeyWidth); err != nil {
 			return nil, err
 		}
 		keys, err := mmapio.View[K](raw)
@@ -166,8 +198,9 @@ func readSegMapped[K cmp.Ordered, V any](b []byte, codec segCodec[V], opts []Opt
 		s.shards[i] = shard[K]{off: recOff, idx: search.NewIndex(keys, s.cfg.Layout, hdr.B)}
 		recOff += l
 		if hdr.HasVals {
-			raw, off, err = mappedRawFrame(b, off, codec.rawTag(), l, hdr.ValWidth)
-			if err != nil {
+			if hdr.Version == segV21 {
+				raw = rawVals[i]
+			} else if raw, off, err = mappedRawFrame(b, off, codec.rawTag(), l, hdr.ValWidth); err != nil {
 				return nil, err
 			}
 			vals, err := mmapio.View[V](raw)
@@ -177,6 +210,15 @@ func readSegMapped[K cmp.Ordered, V any](b []byte, codec segCodec[V], opts []Opt
 			s.svals[i] = vals
 		}
 		s.fences[i] = s.shards[i].idx.AtRank(0)
+	}
+	last := s.shards[len(s.shards)-1].idx
+	s.maxKey = last.AtRank(last.Len() - 1)
+	if len(sf.Bloom) > 0 {
+		bl, err := filter.Unmarshal(sf.Bloom)
+		if err != nil {
+			return nil, fmt.Errorf("store: segment run filter: %w", err)
+		}
+		s.bloom = bl
 	}
 	tag, payload, off, err = blockio.Frame(b, off, true)
 	if err != nil {
@@ -196,6 +238,51 @@ func readSegMapped[K cmp.Ordered, V any](b []byte, codec segCodec[V], opts []Opt
 		return nil, fmt.Errorf("store: %d bytes of trailing junk after the segment trailer", len(b)-off)
 	}
 	return s, checkFences(s)
+}
+
+// mappedV21Frames walks a v2.1 segment's shard frames up to and
+// including the 'f' frame, returning views of each shard's raw key and
+// value payloads (unverified bulk, like every mapped array), the decoded
+// filter frame, and the offset after it. Structural frames — pads and
+// the 'f' frame itself — are checksum-verified.
+func mappedV21Frames(b []byte, off int, hdr *segHeader, rawTag byte) (rawKeys, rawVals [][]byte, sf segFilter, end int, err error) {
+	for {
+		tag, payload, noff, err := blockio.Frame(b, off, true)
+		if err != nil {
+			return nil, nil, sf, 0, fmt.Errorf("store: reading segment shard frames (file truncated?): %w", err)
+		}
+		if tag == tagSegFilter {
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&sf); err != nil {
+				return nil, nil, sf, 0, fmt.Errorf("store: decoding frame %q: %w", tagSegFilter, err)
+			}
+			return rawKeys, rawVals, sf, noff, nil
+		}
+		if tag != tagSegPad {
+			return nil, nil, sf, 0, fmt.Errorf("store: frame %q where pad or filter expected", tag)
+		}
+		off = noff
+		tag, payload, off, err = blockio.Frame(b, off, false)
+		if err != nil {
+			return nil, nil, sf, 0, fmt.Errorf("store: reading frame %q: %w", tagSegKeys, err)
+		}
+		if tag != tagSegKeys {
+			return nil, nil, sf, 0, fmt.Errorf("store: frame %q where %q expected", tag, tagSegKeys)
+		}
+		if len(payload) == 0 || len(payload)%hdr.KeyWidth != 0 {
+			return nil, nil, sf, 0, fmt.Errorf("store: segment frame %q holds %d bytes, not a positive multiple of the %d-byte key width",
+				tagSegKeys, len(payload), hdr.KeyWidth)
+		}
+		l := len(payload) / hdr.KeyWidth
+		rawKeys = append(rawKeys, payload)
+		if hdr.HasVals {
+			var raw []byte
+			raw, off, err = mappedRawFrame(b, off, rawTag, l, hdr.ValWidth)
+			if err != nil {
+				return nil, nil, sf, 0, err
+			}
+			rawVals = append(rawVals, raw)
+		}
+	}
 }
 
 // mappedRawFrame consumes a pad frame (verified — it is tiny) and the

@@ -82,6 +82,34 @@ func storeSource[K cmp.Ordered, V any](st *Store[K, mval[V]], lo, hi K, all bool
 	return s
 }
 
+// rankSource streams one run's whole record set in ascending key order
+// by rank arithmetic — PosOfRank per record, no goroutines, no Export,
+// no allocation beyond the cursor itself. It is the input half of the
+// streaming compaction: each step touches O(1) positions of the run's
+// permuted arrays, so a merge over mapped victims faults pages at the
+// pace of the merge instead of materializing every input on the heap.
+func rankSource[K cmp.Ordered, V any](st *Store[K, mval[V]]) *source[K, V] {
+	si, rank := 0, 0
+	s := &source[K, V]{
+		next: func() (K, mval[V], bool) {
+			for si < len(st.shards) && rank >= st.shards[si].idx.Len() {
+				si++
+				rank = 0
+			}
+			if si >= len(st.shards) {
+				var zk K
+				return zk, mval[V]{}, false
+			}
+			pos := st.shards[si].idx.PosOfRank(rank)
+			rank++
+			return st.shards[si].idx.At(pos), st.svals[si][pos], true
+		},
+		stop: func() {},
+	}
+	s.advance()
+	return s
+}
+
 // mergeSources runs the k-way merge that backs DB.Range and DB.Scan:
 // sources are sorted streams ordered newest first, and for each distinct
 // key the newest source's record wins while the same key is consumed

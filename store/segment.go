@@ -11,9 +11,11 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"slices"
 	"unsafe"
 
 	"implicitlayout/internal/blockio"
+	"implicitlayout/internal/filter"
 	"implicitlayout/internal/mmapio"
 	"implicitlayout/layout"
 	"implicitlayout/perm"
@@ -72,6 +74,33 @@ import (
 // remains the fallback for arbitrary gob-encodable types and stays
 // readable forever.
 //
+// Version 2.1 (raw, streamable; the DB's run segments):
+//
+//	"ILSEG\x01"
+//	frame 'h': gob(segHeader)      as v2, but Records is 0 and
+//	                               ShardLens is nil — a streaming writer
+//	                               does not know them yet
+//	per shard, in fence order:
+//	  frame 'p' / 'k' / 'p' / 'w'  exactly as v2
+//	frame 'f': gob(segFilter)      the authoritative shard lengths and
+//	                               record count, plus the run's
+//	                               serialized bloom filter
+//	frame 'e': gob(segTrailer)     record count; doubles as an end marker
+//
+// v2.1 exists so a segment can be written front to back by a streaming
+// compaction that learns the shard count, lengths, and filter only as
+// the merged stream runs dry: everything a v2 header states up front
+// rides in the trailing 'f' frame instead, readers derive each shard's
+// length from its 'k' frame's size and cross-check the 'f' frame, and
+// the writer never seeks. The shard frames themselves are bit-identical
+// to v2 — same alignment, same mapped-serving property. The fence keys
+// and the min/max key interval are not serialized at all: a reader
+// recovers them from the permuted arrays by rank arithmetic (rank 0 of
+// each shard, last rank of the last shard), O(1) per shard. v2 and v1
+// segments stay readable forever; only DB run segments are written as
+// v2.1 (plain Store.WriteTo keeps v2 — it knows its lengths up front
+// and has no filter to carry).
+//
 // Raw frames are native-endian; the header records the byte order and
 // the element widths, and a reader on a mismatched platform refuses the
 // segment with a clear error instead of serving garbage. A segment
@@ -89,8 +118,9 @@ import (
 const (
 	segMagic = "ILSEG\x01"
 
-	segV1 = 1 // gob frames: any gob-encodable K and V
-	segV2 = 2 // raw fixed-width frames: mappable
+	segV1  = 1 // gob frames: any gob-encodable K and V
+	segV2  = 2 // raw fixed-width frames: mappable
+	segV21 = 3 // v2 shard frames + trailing lengths/filter: streamable
 
 	tagSegHeader  = 'h'
 	tagSegKeys    = 'k'
@@ -98,6 +128,7 @@ const (
 	tagSegRawVals = 'w'
 	tagSegTombs   = 't'
 	tagSegPad     = 'p'
+	tagSegFilter  = 'f'
 	tagSegTrailer = 'e'
 
 	// segAlign is the alignment of every v2 array payload within the
@@ -170,6 +201,17 @@ type segHeader struct {
 // segTrailer is frame 'e': the completeness marker.
 type segTrailer struct {
 	Records int
+}
+
+// segFilter is frame 'f' of a v2.1 segment: the structural facts a
+// streaming writer only knows at the end — the authoritative per-shard
+// record counts (cross-checked against the sizes of the 'k' frames that
+// preceded it) — plus the run's serialized bloom filter
+// (filter.Marshal bytes; empty when the run has none).
+type segFilter struct {
+	ShardLens []int
+	Records   int
+	Bloom     []byte
 }
 
 // hostEndian returns this machine's byte order tag as recorded in v2
@@ -434,8 +476,10 @@ func readRunStream[K cmp.Ordered, V any](r io.Reader, workers int) (*Store[K, mv
 	return readSegStream[K](r, runCodec[V]{}, []Option{WithWorkers(workers)})
 }
 
-// segWriteVersion picks the codec version for a store: v2 when every
-// array is a fixed-width memory dump, v1 (gob) otherwise.
+// segWriteVersion picks the codec version for a store: v1 (gob) unless
+// every array is a fixed-width memory dump; then v2.1 for DB run
+// segments — the streamable format that carries the run's filter — and
+// v2 for plain stores, whose format has no filter to carry.
 func segWriteVersion[K cmp.Ordered, V any](s *Store[K, V], codec segCodec[V]) int {
 	if _, ok := fixedKind(reflect.TypeFor[K]()); !ok {
 		return segV1
@@ -444,6 +488,9 @@ func segWriteVersion[K cmp.Ordered, V any](s *Store[K, V], codec segCodec[V]) in
 		if _, _, ok := codec.rawElem(); !ok {
 			return segV1
 		}
+	}
+	if codec.kind() == segPayloadRun {
+		return segV21
 	}
 	return segV2
 }
@@ -459,6 +506,10 @@ func writeSegStreamVersion[K cmp.Ordered, V any](w io.Writer, s *Store[K, V], co
 	}
 	base := int64(n)
 	bw := blockio.NewWriter(w)
+	lens := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		lens[i] = sh.idx.Len()
+	}
 	hdr := segHeader{
 		Version:    version,
 		Payload:    codec.kind(),
@@ -468,12 +519,16 @@ func writeSegStreamVersion[K cmp.Ordered, V any](w io.Writer, s *Store[K, V], co
 		B:          s.cfg.B,
 		Algorithm:  int(s.cfg.Algorithm),
 		Duplicates: int(s.cfg.Duplicates),
-		ShardLens:  make([]int, len(s.shards)),
+		ShardLens:  lens,
 	}
-	for i, sh := range s.shards {
-		hdr.ShardLens[i] = sh.idx.Len()
+	if version == segV21 {
+		// The streamable format states lengths only in the trailing 'f'
+		// frame; a buffered writer follows the same shape so readers see
+		// one v2.1, not two.
+		hdr.Records = 0
+		hdr.ShardLens = nil
 	}
-	if version == segV2 {
+	if version != segV1 {
 		kk, _ := fixedKind(reflect.TypeFor[K]())
 		var zk K
 		hdr.Endian = hostEndian()
@@ -489,7 +544,7 @@ func writeSegStreamVersion[K cmp.Ordered, V any](w io.Writer, s *Store[K, V], co
 		// blockio caps a frame at MaxBlock (1 GiB) — reject here with an
 		// actionable error instead of failing mid-stream.
 		width := max(hdr.KeyWidth, hdr.ValWidth)
-		for i, l := range hdr.ShardLens {
+		for i, l := range lens {
 			if l > blockio.MaxBlock/width {
 				return int64(n), fmt.Errorf("store: shard %d holds %d records × %d bytes, over the %d-byte per-shard frame cap of the raw segment codec; build with more shards (WithShards) to persist a dataset this large",
 					i, l, width, blockio.MaxBlock)
@@ -501,7 +556,7 @@ func writeSegStreamVersion[K cmp.Ordered, V any](w io.Writer, s *Store[K, V], co
 	}
 	align := int64(segAlignFor(s.cfg.Layout))
 	for i, sh := range s.shards {
-		if version == segV2 {
+		if version != segV1 {
 			if err := writeRawFrame(bw, base, tagSegKeys, mmapio.Bytes(sh.idx.Data()), align); err != nil {
 				return base + bw.Offset(), err
 			}
@@ -521,6 +576,15 @@ func writeSegStreamVersion[K cmp.Ordered, V any](w io.Writer, s *Store[K, V], co
 			}
 		}
 	}
+	if version == segV21 {
+		sf := segFilter{ShardLens: lens, Records: s.n}
+		if s.bloom != nil {
+			sf.Bloom = s.bloom.Marshal()
+		}
+		if err := writeGobFrame(bw, tagSegFilter, sf); err != nil {
+			return base + bw.Offset(), err
+		}
+	}
 	if err := writeGobFrame(bw, tagSegTrailer, segTrailer{Records: s.n}); err != nil {
 		return base + bw.Offset(), err
 	}
@@ -534,10 +598,10 @@ func writeSegStreamVersion[K cmp.Ordered, V any](w io.Writer, s *Store[K, V], co
 // be served as garbage).
 func validateSegHeader[K cmp.Ordered, V any](hdr *segHeader, codec segCodec[V]) error {
 	switch hdr.Version {
-	case segV1, segV2:
+	case segV1, segV2, segV21:
 	default:
-		return fmt.Errorf("%w: version %d, this build reads v%d (gob) and v%d (raw) — written by a newer build?",
-			errSegVersionUnknown, hdr.Version, segV1, segV2)
+		return fmt.Errorf("%w: version %d, this build reads v%d (gob), v%d (raw), and v%d (raw streamable) — written by a newer build?",
+			errSegVersionUnknown, hdr.Version, segV1, segV2, segV21)
 	}
 	if hdr.Payload != codec.kind() {
 		return fmt.Errorf("store: segment payload kind %d where %d expected (a DB run segment and a plain Store segment are not interchangeable)",
@@ -548,23 +612,20 @@ func validateSegHeader[K cmp.Ordered, V any](hdr *segHeader, codec segCodec[V]) 
 	default:
 		return fmt.Errorf("store: segment names unknown layout %d", hdr.Layout)
 	}
-	if hdr.B < 1 || hdr.Records < 1 || len(hdr.ShardLens) < 1 || len(hdr.ShardLens) > hdr.Records {
-		return fmt.Errorf("store: segment header malformed (records=%d shards=%d b=%d)",
-			hdr.Records, len(hdr.ShardLens), hdr.B)
+	if hdr.B < 1 {
+		return fmt.Errorf("store: segment header malformed (b=%d)", hdr.B)
 	}
-	total := 0
-	for _, l := range hdr.ShardLens {
-		if l < 1 || l > hdr.Records-total {
-			return fmt.Errorf("store: segment shard lengths %v inconsistent with %d records",
-				hdr.ShardLens, hdr.Records)
+	if hdr.Version == segV21 {
+		// The streamable format learns its lengths from the shard frames
+		// and the 'f' frame; the header must not claim any.
+		if hdr.Records != 0 || hdr.ShardLens != nil {
+			return fmt.Errorf("store: v2.1 segment header claims records=%d shards=%d; lengths belong in the filter frame",
+				hdr.Records, len(hdr.ShardLens))
 		}
-		total += l
+	} else if err := validateShardLens(hdr.ShardLens, hdr.Records); err != nil {
+		return err
 	}
-	if total != hdr.Records {
-		return fmt.Errorf("store: segment shard lengths sum to %d, header says %d records",
-			total, hdr.Records)
-	}
-	if hdr.Version == segV2 {
+	if hdr.Version != segV1 {
 		if host := hostEndian(); hdr.Endian != host {
 			return fmt.Errorf("store: segment raw arrays are %s-endian, this host is %s-endian — refusing to serve byte-swapped data",
 				hdr.Endian, host)
@@ -588,6 +649,30 @@ func validateSegHeader[K cmp.Ordered, V any](hdr *segHeader, codec segCodec[V]) 
 					reflect.Kind(hdr.ValKind), hdr.ValWidth, vk, vw)
 			}
 		}
+	}
+	return nil
+}
+
+// validateShardLens checks a segment's per-shard record counts: at
+// least one shard, every shard non-empty, and the lengths summing to
+// the stated record count. v1/v2 readers apply it to the header's
+// lengths, v2.1 readers to the trailing filter frame's.
+func validateShardLens(lens []int, records int) error {
+	if records < 1 || len(lens) < 1 || len(lens) > records {
+		return fmt.Errorf("store: segment structure malformed (records=%d shards=%d)",
+			records, len(lens))
+	}
+	total := 0
+	for _, l := range lens {
+		if l < 1 || l > records-total {
+			return fmt.Errorf("store: segment shard lengths %v inconsistent with %d records",
+				lens, records)
+		}
+		total += l
+	}
+	if total != records {
+		return fmt.Errorf("store: segment shard lengths sum to %d, header says %d records",
+			total, records)
 	}
 	return nil
 }
@@ -651,6 +736,9 @@ func readSegStream[K cmp.Ordered, V any](r io.Reader, codec segCodec[V], opts []
 	if err := validateSegHeader[K](&hdr, codec); err != nil {
 		return nil, err
 	}
+	if hdr.Version == segV21 {
+		return readSegStreamV21[K](br, &hdr, codec, opts)
+	}
 	s := newSegStore[K, V](&hdr, opts)
 	kind := s.cfg.Layout
 
@@ -700,12 +788,119 @@ func readSegStream[K cmp.Ordered, V any](r io.Reader, codec segCodec[V], opts []
 		s.fences[i] = s.shards[i].idx.AtRank(0)
 		off += l
 	}
+	last := s.shards[len(s.shards)-1].idx
+	s.maxKey = last.AtRank(last.Len() - 1)
 	var tr segTrailer
 	if err := readGobFrame(br, tagSegTrailer, &tr); err != nil {
 		return nil, fmt.Errorf("store: segment trailer missing (file truncated?): %w", err)
 	}
 	if tr.Records != hdr.Records {
 		return nil, fmt.Errorf("store: segment trailer says %d records, header %d", tr.Records, hdr.Records)
+	}
+	if err := checkFences(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// readSegStreamV21 reads the streamable v2.1 format: the shard frames
+// arrive before their lengths are known, so the reader derives each
+// shard's record count from its key frame's size, collects the payloads
+// (blockio hands each frame a fresh slice, so retaining them is safe),
+// and only then — at the 'f' frame — learns the writer's view of the
+// structure, which must agree exactly with what was observed.
+func readSegStreamV21[K cmp.Ordered, V any](br *blockio.Reader, hdr *segHeader, codec segCodec[V], opts []Option) (*Store[K, V], error) {
+	var rawKeys, rawVals [][]byte
+	var sf segFilter
+	for {
+		tag, payload, err := br.Next()
+		if err != nil {
+			return nil, fmt.Errorf("store: reading segment shard frames (file truncated?): %w", err)
+		}
+		if tag == tagSegFilter {
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&sf); err != nil {
+				return nil, fmt.Errorf("store: decoding frame %q: %w", tagSegFilter, err)
+			}
+			break
+		}
+		if tag != tagSegPad {
+			return nil, fmt.Errorf("store: frame %q where pad or filter expected", tag)
+		}
+		tag, payload, err = br.Next()
+		if err != nil {
+			return nil, fmt.Errorf("store: reading frame %q: %w", tagSegKeys, err)
+		}
+		if tag != tagSegKeys {
+			return nil, fmt.Errorf("store: frame %q where %q expected", tag, tagSegKeys)
+		}
+		if len(payload) == 0 || len(payload)%hdr.KeyWidth != 0 {
+			return nil, fmt.Errorf("store: segment frame %q holds %d bytes, not a positive multiple of the %d-byte key width",
+				tagSegKeys, len(payload), hdr.KeyWidth)
+		}
+		l := len(payload) / hdr.KeyWidth
+		rawKeys = append(rawKeys, payload)
+		if hdr.HasVals {
+			raw, err := readRawFrame(br, codec.rawTag(), l, hdr.ValWidth)
+			if err != nil {
+				return nil, err
+			}
+			rawVals = append(rawVals, raw)
+		}
+	}
+	// The observed structure is authoritative only if the 'f' frame
+	// agrees: a mismatch means a frame went missing or a foreign frame
+	// slipped in, both of which somehow kept their checksums — refuse.
+	lens := make([]int, len(rawKeys))
+	records := 0
+	for i, rk := range rawKeys {
+		lens[i] = len(rk) / hdr.KeyWidth
+		records += lens[i]
+	}
+	if err := validateShardLens(sf.ShardLens, sf.Records); err != nil {
+		return nil, err
+	}
+	if sf.Records != records || !slices.Equal(sf.ShardLens, lens) {
+		return nil, fmt.Errorf("store: segment filter frame says %d records in shards %v, stream holds %d in %v",
+			sf.Records, sf.ShardLens, records, lens)
+	}
+	hdr.Records = records
+	hdr.ShardLens = lens
+	s := newSegStore[K, V](hdr, opts)
+	kind := s.cfg.Layout
+	keys := make([]K, records)
+	var vals []V
+	if hdr.HasVals {
+		vals = make([]V, records)
+	}
+	off := 0
+	for i, l := range lens {
+		copy(mmapio.Bytes(keys[off:off+l]), rawKeys[i])
+		if hdr.HasVals {
+			copy(mmapio.Bytes(vals[off:off+l]), rawVals[i])
+		}
+		data := keys[off : off+l : off+l]
+		s.shards[i] = shard[K]{off: off, idx: search.NewIndex(data, kind, hdr.B)}
+		if hdr.HasVals {
+			s.svals[i] = vals[off : off+l : off+l]
+		}
+		s.fences[i] = s.shards[i].idx.AtRank(0)
+		off += l
+	}
+	last := s.shards[len(s.shards)-1].idx
+	s.maxKey = last.AtRank(last.Len() - 1)
+	if len(sf.Bloom) > 0 {
+		b, err := filter.Unmarshal(sf.Bloom)
+		if err != nil {
+			return nil, fmt.Errorf("store: segment run filter: %w", err)
+		}
+		s.bloom = b
+	}
+	var tr segTrailer
+	if err := readGobFrame(br, tagSegTrailer, &tr); err != nil {
+		return nil, fmt.Errorf("store: segment trailer missing (file truncated?): %w", err)
+	}
+	if tr.Records != records {
+		return nil, fmt.Errorf("store: segment trailer says %d records, shard frames hold %d", tr.Records, records)
 	}
 	if err := checkFences(s); err != nil {
 		return nil, err

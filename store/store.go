@@ -67,6 +67,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"implicitlayout/internal/filter"
 	"implicitlayout/internal/par"
 	"implicitlayout/layout"
 	"implicitlayout/perm"
@@ -217,7 +218,13 @@ type Store[K cmp.Ordered, V any] struct {
 	shards  []shard[K]
 	svals   [][]V    // svals[i][p] = value of shard i's key at position p; nil when !hasVals
 	fences  []K      // fences[i] = smallest key of shard i (sorted ascending)
+	maxKey  K        // largest key in the store (fences[0] is the smallest)
 	back    *backing // non-nil when the shard arrays view a mapped segment
+	// bloom is the optional per-run key filter the DB's read path
+	// consults before descending (see filter.go). Build leaves it nil;
+	// the DB attaches one to every run it builds, and the v2.1 segment
+	// codec persists and restores it.
+	bloom *filter.Bloom
 }
 
 // Set is a keys-only Store: the value type is struct{} and no value
@@ -316,6 +323,7 @@ func Build[K cmp.Ordered, V any](keys []K, vals []V, opts ...Option) (*Store[K, 
 	// with near-perfect balance; fences are read off before the layout
 	// permutation destroys sorted order.
 	s := &Store[K, V]{cfg: c, n: n, hasVals: ownedV != nil}
+	s.maxKey = ownedK[n-1] // read off while still sorted, like the fences
 	s.shards = make([]shard[K], c.Shards)
 	s.fences = make([]K, c.Shards)
 	if ownedV != nil {

@@ -1,0 +1,202 @@
+package store
+
+import (
+	"cmp"
+)
+
+// This file is the streaming half of compaction: a loser-tree k-way
+// merge over rank-order run cursors, feeding a shard-at-a-time sink.
+// Where the old merge Exported every victim onto the heap (O(sum of
+// inputs) peak memory), the streaming merge holds k cursors and one
+// output shard buffer — O(one shard) — and everything else stays on
+// disk (or in the page cache, for mapped victims) until the moment it
+// is read or written.
+
+// maxStreamShardRecs caps the streaming merge's output shard size, and
+// with it the merge's peak heap: a merge whose output would exceed
+// Shards × this many records simply gets more shards. 2^19 records of
+// a 16-byte (key, payload) pair is ~8 MiB of buffer — big enough that
+// permutation and frame-write costs amortize, small enough that a
+// GOMEMLIMIT a fraction of the dataset holds.
+const maxStreamShardRecs = 1 << 19
+
+// loserTree is the merge's selection structure: a tournament tree over
+// k sources where node[0] holds the current winner and node[1:] hold
+// the losers of the internal matches, so replacing the winner replays
+// exactly one leaf-to-root path — ceil(log2 k) comparisons per record,
+// against the linear scan's k. Ties order by source index, lower
+// (newer) first, which is what makes the first record the merge yields
+// for a key the newest version — the same rule mergeSources and
+// parallelMerge apply.
+type loserTree[K cmp.Ordered, V any] struct {
+	src  []*source[K, V]
+	node []int
+}
+
+func newLoserTree[K cmp.Ordered, V any](src []*source[K, V]) *loserTree[K, V] {
+	t := &loserTree[K, V]{src: src, node: make([]int, max(len(src), 1))}
+	for i := range t.node {
+		t.node[i] = -1
+	}
+	// Seed the bracket leaf by leaf, descending: a carried winner parks
+	// at the first vacant internal slot (its opponent has not arrived
+	// yet); a winner whose whole path is already decided is the root.
+	for i := len(src) - 1; i >= 0; i-- {
+		w := i
+		for n := (i + len(src)) / 2; n > 0; n /= 2 {
+			if t.node[n] == -1 {
+				t.node[n] = w
+				w = -1
+				break
+			}
+			if t.beats(t.node[n], w) {
+				w, t.node[n] = t.node[n], w
+			}
+		}
+		if w >= 0 {
+			t.node[0] = w
+		}
+	}
+	return t
+}
+
+// beats reports whether source a wins the match against source b: the
+// smaller next key wins, the lower index breaks ties, and an exhausted
+// source loses to any live one.
+func (t *loserTree[K, V]) beats(a, b int) bool {
+	sa, sb := t.src[a], t.src[b]
+	if !sa.ok || !sb.ok {
+		return sa.ok
+	}
+	if sa.key != sb.key {
+		return sa.key < sb.key
+	}
+	return a < b
+}
+
+// winner returns the index of the source holding the smallest next
+// record (newest on ties), or -1 when every source is exhausted.
+func (t *loserTree[K, V]) winner() int {
+	w := t.node[0]
+	if !t.src[w].ok {
+		return -1
+	}
+	return w
+}
+
+// advance consumes the winner's current record and replays its path:
+// each internal node holds the loser of the match played there, so the
+// new champion of the winner's subtree emerges by re-playing exactly
+// those matches.
+func (t *loserTree[K, V]) advance() {
+	w := t.node[0]
+	t.src[w].advance()
+	for n := (w + len(t.src)) / 2; n > 0; n /= 2 {
+		if t.beats(t.node[n], w) {
+			w, t.node[n] = t.node[n], w
+		}
+	}
+	t.node[0] = w
+}
+
+// streamCompact runs the k-way first-hit-wins merge over sources
+// (ordered newest first) and emits each surviving record in ascending
+// key order: for every distinct key the newest version wins, shadowed
+// versions are consumed and dropped, and — when dropTombs is set,
+// i.e. the output becomes the oldest run — tombstones are dropped too.
+// It is the streaming equivalent of parallelMerge + compactRecs, and
+// the property test in stream_test.go holds the two to the same
+// answers. emit returning an error aborts the merge.
+func streamCompact[K cmp.Ordered, V any](sources []*source[K, V], dropTombs bool, emit func(K, mval[V]) error) error {
+	defer func() {
+		for _, s := range sources {
+			s.stop()
+		}
+	}()
+	t := newLoserTree(sources)
+	for {
+		w := t.winner()
+		if w < 0 {
+			return nil
+		}
+		key, mv := t.src[w].key, t.src[w].mv
+		// Consume the winner and every shadowed equal-key record: ties
+		// rank by source index, so the first winner was the newest.
+		for {
+			t.advance()
+			w = t.winner()
+			if w < 0 || t.src[w].key != key {
+				break
+			}
+		}
+		if dropTombs && mv.dead {
+			continue
+		}
+		if err := emit(key, mv); err != nil {
+			return err
+		}
+	}
+}
+
+// shardStreamer batches the merge's record stream into output shards of
+// the planned size and hands each full shard to the segment writer. Its
+// two buffers are the streaming merge's entire record memory; they are
+// reused shard after shard (AppendShard writes the permuted bytes out
+// before returning).
+type shardStreamer[K cmp.Ordered, V any] struct {
+	w      *segWriter[K, V]
+	target int
+	keys   []K
+	vals   []mval[V]
+}
+
+func newShardStreamer[K cmp.Ordered, V any](w *segWriter[K, V], target int) *shardStreamer[K, V] {
+	return &shardStreamer[K, V]{
+		w:      w,
+		target: target,
+		keys:   make([]K, 0, target),
+		vals:   make([]mval[V], 0, target),
+	}
+}
+
+func (ss *shardStreamer[K, V]) add(k K, mv mval[V]) error {
+	ss.keys = append(ss.keys, k)
+	ss.vals = append(ss.vals, mv)
+	if len(ss.keys) >= ss.target {
+		return ss.flush()
+	}
+	return nil
+}
+
+// flush appends the buffered records as one shard; a partial final
+// shard flushes on the explicit call after the merge runs dry.
+func (ss *shardStreamer[K, V]) flush() error {
+	if len(ss.keys) == 0 {
+		return nil
+	}
+	err := ss.w.AppendShard(ss.keys, ss.vals)
+	ss.keys, ss.vals = ss.keys[:0], ss.vals[:0]
+	return err
+}
+
+// streamShardPlan sizes the streaming merge's output shards for an
+// upper-bound record count: at least the configured shard count (so a
+// streamed run shards like a built run), more if the configured count
+// would push a shard over maxStreamShardRecs. Returns the target
+// records per shard. The true output count is only known when the
+// merge finishes, so the last shard may run short — readers derive
+// every length from the stream, and nothing requires balance.
+func streamShardPlan(cfg Config, upper int) int {
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if need := (upper + maxStreamShardRecs - 1) / maxStreamShardRecs; need > shards {
+		shards = need
+	}
+	target := (upper + shards - 1) / shards
+	if target < 1 {
+		target = 1
+	}
+	return target
+}
