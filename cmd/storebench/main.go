@@ -42,6 +42,15 @@
 // remapped cold before every trial (use -dir for the scratch segments;
 // a temp directory otherwise).
 //
+// With -net it benchmarks the TCP serving layer on loopback: a server
+// over an in-memory DB, driven by -conns client connections three ways —
+// serial (one request per round trip), pipelined point Gets (-window in
+// flight per connection), and pipelined GetBatch (-batchsize keys per
+// request) — reporting throughput, p50/p99/p999 latency, and each
+// mode's speedup over serial. -writes F mixes Puts into the serial and
+// pipelined streams; -rate R switches to open-loop arrival at R req/s
+// per connection, charging queueing delay to the measured latency.
+//
 // In all modes -json writes the table as machine-readable JSON
 // (BENCH_store.json-style) so CI can archive and trend the perf
 // trajectory.
@@ -55,6 +64,8 @@
 //	storebench -writes 0.2 -logn 22 -ops 200000 -dir /tmp/sb -mmap -json BENCH_mmap.json
 //	storebench -batch -logn 22 -q 1000000 -workers 1 -mmap -json BENCH_batch.json
 //	storebench -compact -logn 20 -runs 8 -dir /tmp/sb -mmap -heapmb 256 -json BENCH_compact.json
+//	storebench -net -logn 20 -ops 1048576 -conns 1,4 -json BENCH_net.json
+//	storebench -net -logn 18 -ops 200000 -conns 8 -writes 0.2 -rate 5000 -json BENCH_net.json
 package main
 
 import (
@@ -107,6 +118,19 @@ func main() {
 	heapMB := flag.Int("heapmb", 0,
 		"soft runtime memory limit in MiB (debug.SetMemoryLimit), 0 = none; "+
 			"lets CI assert -compact merges inside a budget below the dataset size")
+	netMode := flag.Bool("net", false,
+		"network loadgen mode: serve the DB over loopback TCP and drive it with "+
+			"-conns client connections three ways — serial (one request per round "+
+			"trip), pipelined point Gets, and pipelined GetBatch — reporting "+
+			"throughput, p50/p99/p999 latency, and each mode's speedup over serial "+
+			"(uses -logn, -ops, -writes as the write fraction, -trials, -seed)")
+	connsFlag := flag.String("conns", "1,4", "comma-separated client connection counts (-net)")
+	window := flag.Int("window", 256, "per-connection pipeline depth (-net)")
+	batchSize := flag.Int("batchsize", 512, "keys per GetBatch request (-net batched mode)")
+	rate := flag.Int("rate", 0,
+		"open-loop arrival rate per connection in req/s (-net; 0 = closed loop); "+
+			"latency is then measured from the scheduled arrival, charging queueing "+
+			"delay to the server")
 	cold := flag.Bool("cold", false,
 		"cold point-lookup mode: per-lookup cost with the segment remapped and "+
 			"page-cache-evicted before every single Get, vs the same lookups on a "+
@@ -120,8 +144,14 @@ func main() {
 	if (*batch || *cold || *compact) && *writes > 0 {
 		fatalf("-batch, -cold, and -compact are their own modes; drop -writes")
 	}
-	if (*batch && *cold) || (*batch && *compact) || (*cold && *compact) {
-		fatalf("-batch, -cold, and -compact are mutually exclusive")
+	exclusive := 0
+	for _, on := range []bool{*batch, *cold, *compact, *netMode} {
+		if on {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		fatalf("-batch, -cold, -compact, and -net are mutually exclusive")
 	}
 	if *compact && *dir == "" {
 		fatalf("-compact requires -dir: the streaming merge is the durable path")
@@ -129,7 +159,7 @@ func main() {
 	if *heapMB > 0 {
 		debug.SetMemoryLimit(int64(*heapMB) << 20)
 	}
-	if !*batch && !*cold && !*compact {
+	if !*batch && !*cold && !*compact && !*netMode {
 		if *dir != "" && *writes == 0 {
 			fatalf("-dir requires the mixed-workload mode (-writes > 0): the durable DB is the write path")
 		}
@@ -138,7 +168,18 @@ func main() {
 		}
 	}
 	var t *bench.Table
-	if *compact {
+	if *netMode {
+		var err error
+		t, err = bench.NetThroughput(bench.NetConfig{
+			LogN: *logN, Ops: *ops,
+			Conns: parseInts(*connsFlag), Batch: *batchSize, Window: *window,
+			WriteFrac: *writes, Rate: *rate,
+			Trials: *trials, Seed: *seed,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else if *compact {
 		var err error
 		t, err = bench.CompactThroughput(bench.CompactConfig{
 			LogN: *logN, Runs: *runs, MissOps: *q, B: *b,

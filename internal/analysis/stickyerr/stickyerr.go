@@ -10,11 +10,14 @@
 // calls whose errors the engine's contract forbids dropping:
 //
 //   - methods named by the "methods" flag (default Put, Delete, Flush,
-//     Close, WriteTo, WriteBlock, AppendShard, Finish) whose receiver
-//     type is declared in this module (flag "module", default
+//     Close, WriteTo, WriteBlock, AppendShard, Finish, Serve, Do) whose
+//     receiver type is declared in this module (flag "module", default
 //     implicitlayout) — so a discarded os.File.Close elsewhere is out
-//     of scope, but a discarded DB.Close, blockio.Writer.WriteBlock, or
-//     streaming segment writer AppendShard/Finish is a finding;
+//     of scope, but a discarded DB.Close, blockio.Writer.WriteBlock,
+//     streaming segment writer AppendShard/Finish, wire server Serve,
+//     or wire client Do is a finding (a dropped Serve error hides why
+//     the listener died; a dropped Do error builds on a response that
+//     never came);
 //   - package-level functions named by the "funcs" flag (default
 //     WriteFileAtomic, SyncDir) declared in this module.
 //
@@ -39,13 +42,13 @@ import (
 var Analyzer = &lintkit.Analyzer{
 	Name: "stickyerr",
 	Doc: "require consumption of the durable API's error results\n\n" +
-		"Reports discarded errors from module-declared methods (Put/Delete/Flush/Close/WriteTo/WriteBlock/AppendShard/Finish) and " +
+		"Reports discarded errors from module-declared methods (Put/Delete/Flush/Close/WriteTo/WriteBlock/AppendShard/Finish/Serve/Do) and " +
 		"blockio's atomic-write functions: a dropped error silently builds on an unacknowledged write.",
 	Run: run,
 }
 
 var (
-	methodNames = "Put,Delete,Flush,Close,WriteTo,WriteBlock,AppendShard,Finish"
+	methodNames = "Put,Delete,Flush,Close,WriteTo,WriteBlock,AppendShard,Finish,Serve,Do"
 	funcNames   = "WriteFileAtomic,SyncDir"
 	modulePath  = "implicitlayout"
 )

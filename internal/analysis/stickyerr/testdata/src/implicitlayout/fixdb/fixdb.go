@@ -39,6 +39,43 @@ func useSegWriterGood(w *SegWriter) error {
 	return w.Finish()
 }
 
+// Server and Client model the wire serving layer: Serve's return is the
+// only record of why a listener died, and Do's error is the only record
+// that a response never came.
+type Server struct{}
+
+func (s *Server) Serve(lis any) error { return nil }
+func (s *Server) Close() error        { return nil }
+
+type Client struct{}
+
+func (c *Client) Do(req any) (any, error) { return nil, nil }
+func (c *Client) Flush() error            { return nil }
+
+func useWireBad(s *Server, c *Client) {
+	go s.Serve(nil)  // want `error result of Server\.Serve discarded by go`
+	c.Flush()        // want `error result of Client\.Flush discarded`
+	_, _ = c.Do(nil) // want `error result of Client\.Do assigned to blank`
+	s.Serve(nil)     // want `error result of Server\.Serve discarded`
+}
+
+func useWireGood(s *Server, c *Client) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(nil) }()
+	resp, err := c.Do(nil)
+	_ = resp
+	if err != nil {
+		return err
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	return <-serveErr
+}
+
 func useBlockio() {
 	blockio.WriteFileAtomic("MANIFEST", nil) // want `error result of blockio\.WriteFileAtomic discarded`
 }

@@ -86,11 +86,21 @@ func (bw *Writer) Offset() int64 { return bw.off }
 
 // Reader iterates the frames of a stream, verifying each checksum.
 type Reader struct {
-	r io.Reader
+	r   io.Reader
+	max int
 }
 
 // NewReader returns a frame reader over r.
-func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+func NewReader(r io.Reader) *Reader { return &Reader{r: r, max: MaxBlock} }
+
+// NewReaderLimit returns a frame reader that treats any frame whose
+// payload exceeds limit as corrupt. Next allocates the payload buffer
+// before reading it, so a reader fed by an untrusted peer — a network
+// connection rather than a file this process wrote — must cap what a
+// nine-byte header can make it allocate; limit is clamped to MaxBlock.
+func NewReaderLimit(r io.Reader, limit int) *Reader {
+	return &Reader{r: r, max: min(limit, MaxBlock)}
+}
 
 // Next returns the next frame's tag and payload. At a clean end of
 // stream it returns io.EOF; a frame cut short mid-header or mid-payload
@@ -113,8 +123,8 @@ func (br *Reader) Next() (tag byte, payload []byte, err error) {
 	tag = hdr[0]
 	n := binary.LittleEndian.Uint32(hdr[1:5])
 	want := binary.LittleEndian.Uint32(hdr[5:9])
-	if n > MaxBlock {
-		return 0, nil, fmt.Errorf("%w: frame length %d exceeds MaxBlock", ErrCorrupt, n)
+	if int64(n) > int64(br.max) {
+		return 0, nil, fmt.Errorf("%w: frame length %d exceeds limit %d", ErrCorrupt, n, br.max)
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(br.r, payload); err != nil {

@@ -2,6 +2,7 @@ package blockio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"os"
@@ -267,4 +268,29 @@ func TestFrameEdgeCases(t *testing.T) {
 		t.Fatalf("append to first payload damaged the next frame: tag %c, %q, %v", tag, second, err)
 	}
 	_ = grown
+}
+
+// TestReaderLimit checks the connection-facing cap: a header claiming a
+// payload beyond the limit is refused as corrupt before any allocation
+// proportional to the claim, while frames inside the limit still read.
+func TestReaderLimit(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	if err := bw.WriteBlock('a', []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	br := NewReaderLimit(bytes.NewReader(buf.Bytes()), 16)
+	if tag, payload, err := br.Next(); err != nil || tag != 'a' || string(payload) != "small" {
+		t.Fatalf("in-limit frame: %c %q %v", tag, payload, err)
+	}
+
+	// A 9-byte header claiming a near-MaxBlock payload: the default
+	// reader would allocate it; the limited reader must refuse.
+	hdr := make([]byte, HeaderSize)
+	hdr[0] = 'a'
+	binary.LittleEndian.PutUint32(hdr[1:5], 1<<29)
+	br = NewReaderLimit(bytes.NewReader(hdr), 1<<20)
+	if _, _, err := br.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("over-limit frame: got %v, want ErrCorrupt", err)
+	}
 }

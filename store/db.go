@@ -505,6 +505,14 @@ func (db *DB[K, V]) Get(key K) (val V, ok bool) {
 		return liveValue(mv)
 	}
 	st := db.state.Load()
+	return db.getImmutable(st, key)
+}
+
+// getImmutable resolves key against one pinned immutable epoch — the
+// frozen memtables, then the run stack, newest to oldest. It is the
+// shared second half of Get and View.Get: the caller has already
+// consulted whichever active memtable its point-in-time view names.
+func (db *DB[K, V]) getImmutable(st *dbstate[K, V], key K) (val V, ok bool) {
 	for _, m := range st.frozen {
 		if mv, hit := m.get(key); hit {
 			return liveValue(mv)
@@ -556,6 +564,22 @@ func (db *DB[K, V]) Contains(key K) bool {
 // below 1 fall back to serial). The lookup sees the same point-in-time
 // state as Get: writes issued after GetBatch starts may be missed.
 func (db *DB[K, V]) GetBatch(keys []K, p int) (vals []V, found []bool) {
+	db.mu.RLock()
+	act := db.active
+	// Load the snapshot under the same lock hold: a freeze moves the
+	// active table into the snapshot under the write lock, so capturing
+	// both sides in one read-lock section yields a coherent pair.
+	st := db.state.Load()
+	db.mu.RUnlock()
+	return db.getBatchOn(act, st, keys, p)
+}
+
+// getBatchOn answers a batch of point lookups from one coherent
+// (active memtable, immutable epoch) pair — the shared engine of
+// DB.GetBatch and View.GetBatch. Every key in the batch is resolved
+// against the same pinned dbstate, so a flush or merge racing the batch
+// never hands half the keys a different run stack.
+func (db *DB[K, V]) getBatchOn(act *memtable[K, V], st *dbstate[K, V], keys []K, p int) (vals []V, found []bool) {
 	vals = make([]V, len(keys))
 	found = make([]bool, len(keys))
 	if len(keys) == 0 {
@@ -564,16 +588,17 @@ func (db *DB[K, V]) GetBatch(keys []K, p int) (vals []V, found []bool) {
 	// pending holds the indices of keys no version has decided yet;
 	// every stage shrinks it in place.
 	pending := make([]int, 0, len(keys))
+	// The lock covers act while it is still the live active table; once
+	// frozen the table is immutable and the lock is a harmless formality.
 	db.mu.RLock()
 	for i, k := range keys {
-		if mv, hit := db.active.get(k); hit {
+		if mv, hit := act.get(k); hit {
 			vals[i], found[i] = liveValue(mv)
 		} else {
 			pending = append(pending, i)
 		}
 	}
 	db.mu.RUnlock()
-	st := db.state.Load()
 	for _, m := range st.frozen {
 		if len(pending) == 0 {
 			return vals, found
@@ -669,16 +694,26 @@ func (db *DB[K, V]) Scan(yield func(key K, val V) bool) {
 
 func (db *DB[K, V]) rangeMerge(lo, hi K, all bool, yield func(key K, val V) bool) {
 	db.mu.RLock()
-	act := db.active.collect(lo, hi, all)
+	act := db.active
 	// Load the snapshot under the same lock hold: a freeze moves the
 	// active table into the snapshot under the write lock, so reading
 	// both sides inside one read-lock section is what makes the merge a
 	// true point-in-time view (copy + snapshot from the same epoch).
 	st := db.state.Load()
 	db.mu.RUnlock()
-	sortRecs(act) // outside the lock: writers don't pay for our ordering
+	db.rangeOn(act, st, lo, hi, all, yield)
+}
+
+// rangeOn runs the k-way merge over one coherent (active memtable,
+// immutable epoch) pair — the shared engine of DB.Range/Scan and
+// View.Range/Scan.
+func (db *DB[K, V]) rangeOn(act *memtable[K, V], st *dbstate[K, V], lo, hi K, all bool, yield func(key K, val V) bool) {
+	db.mu.RLock()
+	actRecs := act.collect(lo, hi, all)
+	db.mu.RUnlock()
+	sortRecs(actRecs) // outside the lock: writers don't pay for our ordering
 	sources := make([]*source[K, V], 0, 1+len(st.frozen)+len(st.runs))
-	sources = append(sources, recsSource(act))
+	sources = append(sources, recsSource(actRecs))
 	for _, m := range st.frozen {
 		sources = append(sources, recsSource(boundRecs(m.sortedRecs(), lo, hi, all)))
 	}
